@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFriendsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "friends.csv")
+	content := strings.Join([]string{
+		"mutual,friend_date,user_id,friend_id",
+		"1,100,1,2",
+		"0,101,1,3",
+		"0,102,2,3",
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-friends", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	save := filepath.Join(dir, "out.txt")
+	if err := run([]string{"-edges", path, "-save", save}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(save); err != nil {
+		t.Errorf("saved edge list missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-friends", "/does/not/exist"}); err == nil {
+		t.Error("missing friends file: want error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+}

@@ -1,0 +1,98 @@
+// Command figgen regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figgen [flags] [experiment-id ...]
+//
+// With no ids it runs every registered experiment. Each experiment prints
+// an ASCII rendition of the figure plus its calibration notes and headline
+// scalars, and writes the underlying series to <out>/<id>.csv.
+//
+// Examples:
+//
+//	figgen                      # everything, full fidelity
+//	figgen -quick fig2a fig4c   # two figures at reduced fidelity
+//	figgen -out /tmp/results -seed 7 fig3a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rumornet/internal/experiments"
+	"rumornet/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figgen", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "results", "directory for CSV output")
+		seed   = fs.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
+		quick  = fs.Bool("quick", false, "reduced fidelity (fewer groups, coarser grids)")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		width  = fs.Int("width", 72, "ASCII chart width")
+		height = fs.Int("height", 16, "ASCII chart height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== %s — %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
+
+		chart, err := plot.ASCII("", *width, *height, res.Series...)
+		if err != nil {
+			return fmt.Errorf("%s: render: %w", id, err)
+		}
+		fmt.Println(chart)
+
+		if len(res.Scalars) > 0 {
+			keys := make([]string, 0, len(res.Scalars))
+			for k := range res.Scalars {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %-40s %g\n", k, res.Scalars[k])
+			}
+		}
+		for _, note := range res.Notes {
+			fmt.Printf("  note: %s\n", note)
+		}
+
+		path := filepath.Join(*out, res.ID+".csv")
+		if err := plot.SaveCSV(path, res.Series...); err != nil {
+			return err
+		}
+		fmt.Printf("  csv: %s\n\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"-quick", "-out", out, "fig2b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "fig2b.csv")); err != nil {
+		t.Errorf("missing CSV: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "nope"}); err == nil {
+		t.Error("unknown id: want error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOptimize(t *testing.T) {
+	if err := run([]string{"-tf", "10", "-grid", "80", "-groups", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTargetAndJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.json")
+	if err := run([]string{
+		"-tf", "15", "-grid", "80", "-groups", "20",
+		"-target", "1e-3", "-save-json", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty schedule file")
+	}
+}
+
+func TestRunCompareHeuristic(t *testing.T) {
+	if err := run([]string{"-tf", "10", "-grid", "80", "-groups", "20", "-compare-heuristic"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+}
+
+func TestRunLoadJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.json")
+	if err := run([]string{"-tf", "10", "-grid", "60", "-groups", "15", "-save-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-tf", "10", "-grid", "60", "-groups", "15", "-load-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load-json", "/does/not/exist"}); err == nil {
+		t.Error("missing schedule file: want error")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunPowerLawScenario(t *testing.T) {
+	if err := run([]string{"-gamma", "2.0", "-kmax", "50", "-r0", "0.7", "-tf", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLambdaScenario(t *testing.T) {
+	if err := run([]string{"-gamma", "1.8", "-kmax", "30", "-lambda0", "0.01", "-tf", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEdgeListScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-edges", path, "-lambda0", "0.05", "-tf", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-edges", "/does/not/exist"}); err == nil {
+		t.Error("missing edge file: want error")
+	}
+	if err := run([]string{"-gamma", "2", "-kmin", "9", "-kmax", "3"}); err == nil {
+		t.Error("bad degree range: want error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+}

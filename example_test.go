@@ -1,0 +1,126 @@
+package rumornet_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rumornet"
+)
+
+// Build a model on an analytic scale-free network and apply the paper's
+// critical conditions (Theorem 5).
+func ExampleNewCalibratedModel() {
+	dist, err := rumornet.PowerLawDegreeDist(1.5, 1, 100)
+	if err != nil {
+		panic(err)
+	}
+	// Calibrate the acceptance rate so the threshold is exactly 0.7220 —
+	// the paper's Fig. 2 regime.
+	m, err := rumornet.NewCalibratedModel(dist, 0.01, 0.2, 0.05, 0.7220,
+		rumornet.OmegaSaturating(0.5, 0.5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r0 = %.4f → %s\n", m.R0(), m.Classify())
+	// Output:
+	// r0 = 0.7220 → extinct
+}
+
+// The zero equilibrium E0 of Theorem 1: S = α/ε1, I = 0, R = 1 − α/ε1.
+func ExampleModel_ZeroEquilibrium() {
+	dist, err := rumornet.PowerLawDegreeDist(2, 1, 10)
+	if err != nil {
+		panic(err)
+	}
+	m, err := rumornet.NewModel(dist, rumornet.Params{
+		Alpha:  0.01,
+		Eps1:   0.2,
+		Eps2:   0.05,
+		Lambda: rumornet.LambdaLinear(0.01),
+		Omega:  rumornet.OmegaSaturating(0.5, 0.5),
+	})
+	if err != nil {
+		panic(err)
+	}
+	e0 := m.ZeroEquilibrium()
+	fmt.Printf("S0 = %.2f  I0 = %.0f  R0 = %.2f\n",
+		m.S(e0.Y, 0), m.I(e0.Y, 0), m.R(e0.Y, 0))
+	// Output:
+	// S0 = 0.05  I0 = 0  R0 = 0.95
+}
+
+// Threshold planning with the closed-form sensitivity of r0.
+func ExampleModel_RequiredEps2() {
+	dist, err := rumornet.PowerLawDegreeDist(1.8, 1, 50)
+	if err != nil {
+		panic(err)
+	}
+	m, err := rumornet.NewCalibratedModel(dist, 0.01, 0.05, 0.02, 2.0,
+		rumornet.OmegaSaturating(0.5, 0.5))
+	if err != nil {
+		panic(err)
+	}
+	// The rumor is endemic (r0 = 2). How hard must we block to subdue it?
+	eps2, err := m.RequiredEps2(0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("raise ε2 from %.3f to %.3f\n", m.Params().Eps2, eps2)
+	fmt.Printf("new r0 = %.2f\n", m.R0At(m.Params().Eps1, eps2))
+	// Output:
+	// raise ε2 from 0.020 to 0.042
+	// new r0 = 0.95
+}
+
+// A full simulation: seed 5% of every degree group and watch the rumor die.
+func ExampleModel_Simulate() {
+	dist, err := rumornet.PowerLawDegreeDist(1.5, 1, 20)
+	if err != nil {
+		panic(err)
+	}
+	m, err := rumornet.NewCalibratedModel(dist, 0.01, 0.2, 0.05, 0.5,
+		rumornet.OmegaSaturating(0.5, 0.5))
+	if err != nil {
+		panic(err)
+	}
+	ic, err := m.UniformIC(0.05)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := m.Simulate(ic, 400, nil)
+	if err != nil {
+		panic(err)
+	}
+	ext, err := tr.TimeToExtinction(0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("below 1%% infected by t = %.0f (verdict: %s)\n", ext, m.Classify())
+	// Output:
+	// below 1% infected by t = 100 (verdict: extinct)
+}
+
+// The classical Daley–Kendall result: about 80% of the population
+// eventually hears a rumor (final ignorant fraction ≈ 0.2032).
+func ExampleDKMeanField_FinalIgnorant() {
+	mf := rumornet.DKMeanField{Beta: 1, GammaStifle: 1}
+	final, err := mf.FinalIgnorant(1e-4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("final ignorant fraction ≈ %.3f\n", final)
+	// Output:
+	// final ignorant fraction ≈ 0.203
+}
+
+// Generating a synthetic Digg2009-scale degree distribution.
+func ExampleSyntheticDiggDist() {
+	rng := rand.New(rand.NewSource(7))
+	dist, err := rumornet.SyntheticDiggDist(rng)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("degree support [%d, %d]\n", dist.MinDegree(), dist.MaxDegree())
+	// Output:
+	// degree support [1, 995]
+}

@@ -1,0 +1,79 @@
+// Influencers: "Rumor ends with Sage" — the paper's introduction describes
+// blocking rumors at influential users identified by Degree, Betweenness or
+// Core. This example spends the same blocking budget (2% of users) on each
+// strategy and races them against random blocking and no response, on an
+// explicit scale-free network with the agent-based simulator.
+//
+//	go run ./examples/influencers
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rumornet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "influencers:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+
+	// A 15k-user scale-free network (Barabási–Albert, heavy-tailed like a
+	// follower graph).
+	g, err := rumornet.NewBarabasiAlbert(15000, 6, rng)
+	if err != nil {
+		return err
+	}
+	budget := g.NumNodes() / 50
+	fmt.Printf("network: %d users, %d edges; blocking budget: %d users (2%%)\n\n",
+		g.NumNodes(), g.NumEdges(), budget)
+
+	strategies := []struct {
+		name string
+		pick func() ([]int, error)
+	}{
+		{"no blocking", func() ([]int, error) { return nil, nil }},
+		{"random users", func() ([]int, error) { return g.RandomK(budget, rng) }},
+		{"top Degree", func() ([]int, error) { return g.TopKByOutDegree(budget) }},
+		{"top Core", func() ([]int, error) { return g.TopKByCore(budget) }},
+		{"top Betweenness", func() ([]int, error) { return g.TopKByBetweenness(budget, 300, rng) }},
+	}
+
+	base := rumornet.ABMConfig{
+		Lambda: rumornet.LambdaLinear(0.07),
+		Omega:  rumornet.OmegaSaturating(0.5, 0.5),
+		Eps1:   0.002,
+		Eps2:   0.03,
+		I0:     0.005,
+		Dt:     0.5,
+		Steps:  200,
+		Mode:   rumornet.ABMQuenched,
+	}
+
+	fmt.Printf("%-18s %12s %12s\n", "strategy", "peak I", "final I")
+	for _, st := range strategies {
+		blocked, err := st.pick()
+		if err != nil {
+			return err
+		}
+		cfg := base
+		cfg.Blocked = blocked
+		res, err := rumornet.RunABM(g, cfg, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %11.2f%% %11.2f%%\n", st.name, 100*res.PeakI(), 100*res.FinalI())
+	}
+
+	fmt.Println("\nwith equal budgets, centrality-targeted blocking crushes the outbreak")
+	fmt.Println("while random blocking barely moves it — the heterogeneity the paper's")
+	fmt.Println("degree-grouped model exists to capture")
+	return nil
+}

@@ -1,0 +1,142 @@
+// Outbreak: a "bogus AP tweet" scenario — the paper's motivating example of
+// the 2013 White House explosion rumor that wiped billions off the markets.
+//
+// A flash rumor seeds 0.1% of a Digg-like network. We forecast it twice:
+// with the mean-field ODE model (instant, what an operator would use for a
+// real-time decision) and with an agent-based Monte-Carlo simulation on the
+// actual graph (slow, the "ground truth" the ODE approximates), then show
+// what a fast blocking response changes.
+//
+//	go run ./examples/outbreak
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rumornet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "outbreak:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(7))
+
+	// A scaled-down Digg-like follower graph (10k users) so the ABM runs in
+	// seconds; the ODE consumes only its degree distribution.
+	g, err := diggLikeGraph(rng, 10000)
+	if err != nil {
+		return err
+	}
+	dist, err := rumornet.DegreeDistFromGraph(g)
+	if err != nil {
+		return err
+	}
+	stats := rumornet.SummarizeDigg(g)
+	fmt.Printf("network: %d users, %d follow links, mean degree %.1f\n\n",
+		stats.Users, stats.Links, stats.MeanDegree)
+
+	lambda := rumornet.LambdaLinear(0.1)
+	omega := rumornet.OmegaSaturating(0.5, 0.5)
+	const (
+		i0 = 0.001 // the bogus tweet reaches 0.1% before anyone reacts
+		tf = 80.0
+	)
+
+	scenarios := []struct {
+		name       string
+		eps1, eps2 float64
+	}{
+		{"no response", 0.002, 0.01},
+		{"fast blocking + truth campaign", 0.05, 0.12},
+	}
+	for _, sc := range scenarios {
+		m, err := rumornet.NewModel(dist, rumornet.Params{
+			Alpha: 0, Eps1: sc.eps1, Eps2: sc.eps2, Lambda: lambda, Omega: omega,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("— scenario: %s (ε1 = %g, ε2 = %g)\n", sc.name, sc.eps1, sc.eps2)
+
+		// Mean-field forecast. With a closed population (α = 0) the
+		// relevant indicator is the effective reproduction number at the
+		// current state (Theorem 2), not the nominal r0 (which is ∝ α).
+		ic, err := m.UniformIC(i0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  effective r at outbreak: %.2f\n", m.EffectiveR0(ic, sc.eps2))
+		tr, err := m.Simulate(ic, tf, nil)
+		if err != nil {
+			return err
+		}
+		mean := tr.MeanISeries()
+		fmt.Printf("  ODE forecast:   peak %5.2f%% infected, final %5.2f%%\n",
+			100*peakOf(mean), 100*mean[len(mean)-1])
+
+		// Ground truth: agents on the real graph.
+		res, err := rumornet.RunABM(g, rumornet.ABMConfig{
+			Lambda: lambda, Omega: omega,
+			Eps1: sc.eps1, Eps2: sc.eps2,
+			I0: i0, Dt: 0.5, Steps: int(tf / 0.5),
+			Mode: rumornet.ABMQuenched,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  ABM simulation: peak %5.2f%% infected, final %5.2f%%\n\n",
+			100*res.PeakI(), 100*res.FinalI())
+	}
+	fmt.Println("the mean-field forecast tracks the agent-based ground truth — and a")
+	fmt.Println("prompt countermeasure response flips the verdict from epidemic to extinct")
+	return nil
+}
+
+// diggLikeGraph builds a small power-law follower graph with Digg-like
+// shape (mean degree ≈ 24, heavy tail).
+func diggLikeGraph(rng *rand.Rand, users int) (*rumornet.Graph, error) {
+	full, err := rumornet.SyntheticDiggDist(rng)
+	if err != nil {
+		return nil, err
+	}
+	// Sample a degree sequence for the scaled-down population from the
+	// full distribution (capped so the configuration model stays sparse).
+	seq := make([]int, users)
+	ks := full.Degrees()
+	ps := full.Probs()
+	for i := range seq {
+		u := rng.Float64()
+		acc := 0.0
+		for j, p := range ps {
+			acc += p
+			if u <= acc {
+				seq[i] = ks[j]
+				break
+			}
+		}
+		if seq[i] == 0 {
+			seq[i] = ks[len(ks)-1]
+		}
+		if seq[i] > users/20 {
+			seq[i] = users / 20
+		}
+	}
+	return rumornet.NewConfigurationGraph(seq, rng)
+}
+
+func peakOf(xs []float64) float64 {
+	var m float64
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

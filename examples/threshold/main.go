@@ -1,0 +1,96 @@
+// Threshold: map the extinction frontier r0 = 1 over the countermeasure
+// plane (ε1 × ε2) for a Digg-like rumor — the "how much response is enough"
+// chart a policy maker would pin on the wall. Every cell is an instance of
+// Theorem 5: '.' means the rumor dies out (r0 ≤ 1), '#' means it persists.
+//
+//	go run ./examples/threshold
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rumornet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "threshold:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(5))
+	dist, err := rumornet.SyntheticDiggDist(rng)
+	if err != nil {
+		return err
+	}
+
+	// The paper's own evaluation setting: λ(k) = k, saturating ω.
+	lambda := rumornet.LambdaLinear(1)
+	omega := rumornet.OmegaSaturating(0.5, 0.5)
+	const alpha = 0.01
+
+	// Sweep both countermeasure rates across two decades.
+	levels := []float64{0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2, 0.3, 0.5, 0.8}
+
+	fmt.Println("extinction map for a Digg2009-scale rumor (rows: ε1, cols: ε2)")
+	fmt.Println("'.' = extinct (r0 ≤ 1)   '#' = epidemic (r0 > 1)")
+	fmt.Printf("\n%6s", "ε1\\ε2")
+	for _, e2 := range levels {
+		fmt.Printf("%6.2f", e2)
+	}
+	fmt.Println()
+
+	var verified int
+	for _, e1 := range levels {
+		fmt.Printf("%6.2f", e1)
+		for _, e2 := range levels {
+			m, err := rumornet.NewModel(dist, rumornet.Params{
+				Alpha: alpha, Eps1: e1, Eps2: e2, Lambda: lambda, Omega: omega,
+			})
+			if err != nil {
+				return err
+			}
+			cell := "     #"
+			if m.Classify() == rumornet.VerdictExtinct {
+				cell = "     ."
+			}
+			fmt.Print(cell)
+			verified++
+		}
+		fmt.Println()
+	}
+
+	// Pick one frontier cell and confirm the verdict by simulation.
+	mExt, err := rumornet.NewModel(dist, rumornet.Params{
+		Alpha: alpha, Eps1: 0.3, Eps2: 0.05, Lambda: lambda, Omega: omega,
+	})
+	if err != nil {
+		return err
+	}
+	mEpi, err := rumornet.NewModel(dist, rumornet.Params{
+		Alpha: alpha, Eps1: 0.05, Eps2: 0.05, Lambda: lambda, Omega: omega,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nspot check by simulation (I fraction after t = 400):\n")
+	for _, m := range []*rumornet.Model{mExt, mEpi} {
+		ic, err := m.UniformIC(0.05)
+		if err != nil {
+			return err
+		}
+		tr, err := m.Simulate(ic, 400, nil)
+		if err != nil {
+			return err
+		}
+		mean := tr.MeanISeries()
+		fmt.Printf("  ε1=%.2f ε2=%.2f: r0 = %5.2f (%s) → simulated final I = %.5f\n",
+			m.Params().Eps1, m.Params().Eps2, m.R0(), m.Classify(), mean[len(mean)-1])
+	}
+	fmt.Printf("\n%d (ε1, ε2) combinations classified via Theorem 5\n", verified)
+	return nil
+}

@@ -1,0 +1,82 @@
+// Tracecast: data-driven outbreak forecasting. The Digg2009 release ships
+// vote traces (who voted on which story, when); a story's earliest voters
+// are a real-world initial condition for a rumor cascade. This example
+// synthesizes Digg-style vote traces (stand-ins for digg_votes.csv), seeds
+// the agent-based simulator from the biggest story's first 20 voters, and
+// compares the spread with and without countermeasures.
+//
+//	go run ./examples/tracecast
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rumornet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecast:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(23))
+
+	// A Digg-like follower graph and synthetic vote traces on it.
+	g, err := rumornet.NewBarabasiAlbert(12000, 5, rng)
+	if err != nil {
+		return err
+	}
+	votes, err := rumornet.SampleVotes(g, 40, 0.05, rng)
+	if err != nil {
+		return err
+	}
+	idx := rumornet.IndexVotes(votes)
+	stories := idx.Stories()
+	top := stories[0]
+	fmt.Printf("traces: %d votes across %d stories; biggest story %d has %d votes\n\n",
+		len(votes), len(stories), top, len(idx[top]))
+
+	// Seed the cascade from the story's first 20 voters. SampleVotes uses
+	// dense node ids, so the identity mapping applies.
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	seeds, err := idx.SeedsFromStory(top, 20, ids)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seeding the rumor at story %d's first %d voters\n\n", top, len(seeds))
+
+	for _, sc := range []struct {
+		name       string
+		eps1, eps2 float64
+	}{
+		{"no countermeasures", 0.001, 0.001},
+		{"truth campaign + blocking", 0.03, 0.08},
+	} {
+		res, err := rumornet.RunABM(g, rumornet.ABMConfig{
+			Lambda: rumornet.LambdaLinear(0.08),
+			Omega:  rumornet.OmegaSaturating(0.5, 0.5),
+			Eps1:   sc.eps1,
+			Eps2:   sc.eps2,
+			I0:     0.001, // ignored: explicit seeds below
+			Seeds:  seeds,
+			Dt:     0.5,
+			Steps:  240,
+			Mode:   rumornet.ABMQuenched,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s peak %5.2f%%  final %5.2f%%\n",
+			sc.name+":", 100*res.PeakI(), 100*res.FinalI())
+	}
+	fmt.Println("\nthe same trace-seeded outbreak collapses once countermeasures engage")
+	return nil
+}

@@ -1,0 +1,84 @@
+// Wavefront: rumors travel. In a spatially embedded community (districts of
+// a city, campuses, language regions) a rumor seeded in one place spreads
+// as a traveling wave. This example builds the 1-D reaction–diffusion
+// medium of the spatial extension, seeds the center district, watches the
+// infection front move outward, and shows how blocking hard enough stalls
+// the wave entirely (the spatial analogue of the r0 threshold).
+//
+//	go run ./examples/wavefront
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"rumornet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wavefront:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, sc := range []struct {
+		name string
+		eps2 float64
+	}{
+		{"weak blocking (wave propagates)", 0.2},
+		{"strong blocking (wave stalled)", 1.3},
+	} {
+		m, err := rumornet.NewSpatialModel(rumornet.SpatialConfig{
+			Patches: 121,
+			Length:  121,
+			Lambda:  1.0,
+			Eps2:    sc.eps2,
+			DI:      0.5,
+		})
+		if err != nil {
+			return err
+		}
+		ic, err := m.SeedCenter(1, 0.5)
+		if err != nil {
+			return err
+		}
+		sol, err := m.Simulate(ic, 50, 0.05)
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("— %s (ε2 = %g)\n", sc.name, sc.eps2)
+		fmt.Printf("  Fisher–KPP predicted speed: %.3f districts/unit time\n", m.FisherSpeed(1))
+		if speed, err := m.MeasureFrontSpeed(sol, 0.05); err == nil {
+			fmt.Printf("  measured front speed:       %.3f\n", speed)
+		} else {
+			fmt.Printf("  measured front speed:       none (%v)\n", err)
+		}
+
+		// A crude space-time picture: infected density at 3 times.
+		for _, t := range []float64{5, 20, 45} {
+			y := sol.At(t)
+			var b strings.Builder
+			for p := 0; p < m.Patches(); p += 2 {
+				switch v := y[m.Patches()+p]; {
+				case v > 0.2:
+					b.WriteByte('#')
+				case v > 0.05:
+					b.WriteByte('+')
+				case v > 0.005:
+					b.WriteByte('.')
+				default:
+					b.WriteByte(' ')
+				}
+			}
+			fmt.Printf("  t=%4.0f |%s|\n", t, b.String())
+		}
+		fmt.Println()
+	}
+	fmt.Println("weak blocking lets the rumor sweep the whole domain as a constant-speed")
+	fmt.Println("wave; blocking above the local growth rate extinguishes it in place")
+	return nil
+}

@@ -1,0 +1,3 @@
+module rumornet
+
+go 1.22

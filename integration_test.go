@@ -1,0 +1,135 @@
+package rumornet
+
+// End-to-end integration test: the full pipeline a downstream user would
+// run — load a network, derive the model, analyze the threshold, plan the
+// optimal countermeasures, serialize the policy, reload it and verify the
+// replayed cost, then cross-check the model against the agent-based
+// simulator on the same graph.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+
+	// 1. Build a scale-free network and persist/reload it as an edge list.
+	g0, err := NewBarabasiAlbert(3000, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g0.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != g0.NumEdges() {
+		t.Fatalf("edge-list round trip lost edges: %d vs %d", g.NumEdges(), g0.NumEdges())
+	}
+
+	// 2. Model the rumor on that network; verify it is epidemic.
+	m, err := NewModelFromGraph(g, Params{
+		Alpha:  0.01,
+		Eps1:   0.03,
+		Eps2:   0.03,
+		Lambda: LambdaLinear(0.3),
+		Omega:  OmegaSaturating(0.5, 0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := m.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Verdict != VerdictEpidemic {
+		t.Fatalf("scenario not epidemic (r0 = %v)", eq.R0)
+	}
+	if eq.Positive == nil || eq.Positive.Theta <= 0 {
+		t.Fatal("epidemic verdict without a positive equilibrium")
+	}
+
+	// 3. Threshold planning: the required ε2 must flip the verdict.
+	needEps2, err := m.RequiredEps2(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R0At(m.Params().Eps1, needEps2) > 1 {
+		t.Fatalf("RequiredEps2(0.9) = %v does not subdue the rumor", needEps2)
+	}
+
+	// 4. Optimal control, serialization, replay.
+	ic, err := m.UniformIC(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := ControlCost{C1: 5, C2: 10}
+	pol, err := OptimizeCountermeasures(m, ic, 30, ControlOptions{
+		Grid:    150,
+		MaxIter: 250,
+		Eps1Max: 0.5,
+		Eps2Max: 0.5,
+		Cost:    cost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.Converged {
+		t.Errorf("FBSM did not converge in %d sweeps", pol.Iterations)
+	}
+	var sbuf bytes.Buffer
+	if err := pol.Schedule.WriteJSON(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadScheduleJSON(&sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, _, err := EvaluatePolicyCost(m, ic, loaded, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd.Total-pol.Cost.Total) > 1e-9*(1+pol.Cost.Total) {
+		t.Errorf("replayed cost %v != optimized cost %v", bd.Total, pol.Cost.Total)
+	}
+
+	// 5. The optimized policy beats doing nothing on the same objective.
+	idle, err := m.Simulate(ic, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleTerminal := 0.0
+	_, yf := idle.Last()
+	for i := 0; i < m.N(); i++ {
+		idleTerminal += m.I(yf, i)
+	}
+	if pol.Cost.Total >= idleTerminal {
+		t.Errorf("optimized J = %v not below do-nothing terminal %v",
+			pol.Cost.Total, idleTerminal)
+	}
+
+	// 6. Cross-check with the agent-based simulator: under the strong
+	// blocking rate the ABM outbreak must collapse too.
+	res, err := RunABM(g, ABMConfig{
+		Lambda: LambdaLinear(0.3),
+		Omega:  OmegaSaturating(0.5, 0.5),
+		Eps1:   0.03,
+		Eps2:   needEps2 * 2,
+		I0:     0.05,
+		Dt:     0.5,
+		Steps:  120,
+		Mode:   ABMQuenched,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalI() > 0.01 {
+		t.Errorf("ABM final infection %v despite blocking above the required rate", res.FinalI())
+	}
+}

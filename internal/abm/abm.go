@@ -1,0 +1,312 @@
+// Package abm cross-validates the mean-field ODE model with an agent-based
+// Monte-Carlo SIR simulation on an explicit social graph.
+//
+// Two contact modes are provided:
+//
+//   - ModeAnnealed reproduces the mean-field assumption exactly: every
+//     susceptible agent feels the global infectivity Θ(t); the ODE system
+//     is the N → ∞ limit of this process, so trajectories must agree.
+//   - ModeQuenched uses the actual graph edges: agent v is pressured only
+//     by its infected in-neighbors, with per-edge weight ω(k_u)/outdeg(u)
+//     chosen so that the expected force over a configuration-model graph
+//     equals the mean-field force λ(k_v)·Θ (see DESIGN.md). Differences
+//     from the ODE quantify the quenched-network correction the paper's
+//     model ignores.
+package abm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rumornet/internal/degreedist"
+	"rumornet/internal/graph"
+)
+
+// Mode selects the contact structure.
+type Mode int
+
+// Modes.
+const (
+	ModeAnnealed Mode = iota + 1
+	ModeQuenched
+)
+
+// State is an agent's compartment.
+type State uint8
+
+// Agent states.
+const (
+	Susceptible State = iota + 1
+	Infected
+	Recovered
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Lambda and Omega are the acceptance and infectivity functions of the
+	// mean-field model (evaluated on out-degrees).
+	Lambda, Omega degreedist.KFunc
+	// Eps1 and Eps2 are the immunization and blocking rates.
+	Eps1, Eps2 float64
+	// I0 is the initial infected fraction (seeded uniformly at random).
+	I0 float64
+	// Dt is the time step; transition probabilities are 1 − exp(−rate·Dt).
+	Dt float64
+	// Steps is the number of time steps.
+	Steps int
+	// Mode selects annealed (mean-field) or quenched (graph-edge) contact.
+	Mode Mode
+	// Blocked lists nodes recovered at t = 0 before the rumor starts — the
+	// "block rumors at influential users" countermeasure of the paper's
+	// introduction. Blocked nodes are never seeded and never infected.
+	// Nodes out of range cause an error.
+	Blocked []int
+	// Seeds, when non-empty, is the explicit set of initially infected
+	// nodes (e.g. the early voters of a Digg story) and overrides the
+	// random I0 seeding. Blocked nodes among the seeds are skipped.
+	Seeds []int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Lambda == nil || c.Omega == nil:
+		return errors.New("abm: Lambda and Omega are required")
+	case c.Eps1 < 0 || c.Eps2 < 0:
+		return fmt.Errorf("abm: negative countermeasure rates (%g, %g)", c.Eps1, c.Eps2)
+	case c.I0 <= 0 || c.I0 >= 1:
+		return fmt.Errorf("abm: I0 = %g outside (0, 1)", c.I0)
+	case c.Dt <= 0:
+		return fmt.Errorf("abm: Dt = %g must be positive", c.Dt)
+	case c.Steps < 1:
+		return fmt.Errorf("abm: Steps = %d must be positive", c.Steps)
+	case c.Mode != ModeAnnealed && c.Mode != ModeQuenched:
+		return fmt.Errorf("abm: unknown mode %d", int(c.Mode))
+	}
+	return nil
+}
+
+// Result holds the sampled fractions of each compartment over time.
+type Result struct {
+	// T[j] is the time of sample j (T[0] = 0).
+	T []float64
+	// S, I, R are the population fractions at each sample.
+	S, I, R []float64
+	// Theta is the realized average infectivity at each sample.
+	Theta []float64
+}
+
+// FinalI returns the final infected fraction.
+func (r *Result) FinalI() float64 { return r.I[len(r.I)-1] }
+
+// PeakI returns the maximum infected fraction over the run.
+func (r *Result) PeakI() float64 {
+	var m float64
+	for _, v := range r.I {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Run simulates the agent-based process on g. Agents with zero out-degree
+// still participate (they can be infected; they simply contribute no
+// infectivity).
+func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, errors.New("abm: empty graph")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("abm: nil rand source")
+	}
+	n := g.NumNodes()
+	nf := float64(n)
+
+	// Precompute per-node rates.
+	lambda := make([]float64, n)
+	omegaOverDeg := make([]float64, n) // ω(k_u)/outdeg(u), 0 for isolated
+	var meanK float64
+	for u := 0; u < n; u++ {
+		k := float64(g.OutDegree(u))
+		meanK += k
+		lambda[u] = cfg.Lambda(k)
+		if lambda[u] < 0 {
+			return nil, fmt.Errorf("abm: λ(%g) negative", k)
+		}
+		if k > 0 {
+			om := cfg.Omega(k)
+			if om < 0 {
+				return nil, fmt.Errorf("abm: ω(%g) negative", k)
+			}
+			omegaOverDeg[u] = om / k
+		}
+	}
+	meanK /= nf
+	if meanK <= 0 {
+		return nil, errors.New("abm: graph has no edges")
+	}
+
+	// Pre-block the targeted users, then seed the infection among the rest.
+	state := make([]State, n)
+	for u := range state {
+		state[u] = Susceptible
+	}
+	for _, u := range cfg.Blocked {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("abm: blocked node %d out of range [0, %d)", u, n)
+		}
+		state[u] = Recovered
+	}
+	seeded := 0
+	if len(cfg.Seeds) > 0 {
+		for _, u := range cfg.Seeds {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("abm: seed node %d out of range [0, %d)", u, n)
+			}
+			if state[u] == Recovered {
+				continue
+			}
+			if state[u] != Infected {
+				state[u] = Infected
+				seeded++
+			}
+		}
+	} else {
+		seeds := int(math.Round(cfg.I0 * nf))
+		if seeds < 1 {
+			seeds = 1
+		}
+		for _, u := range rng.Perm(n) {
+			if seeded == seeds {
+				break
+			}
+			if state[u] == Recovered {
+				continue
+			}
+			state[u] = Infected
+			seeded++
+		}
+	}
+	if seeded == 0 {
+		return nil, errors.New("abm: nothing to seed (all candidates blocked)")
+	}
+
+	res := &Result{
+		T:     make([]float64, 0, cfg.Steps+1),
+		S:     make([]float64, 0, cfg.Steps+1),
+		I:     make([]float64, 0, cfg.Steps+1),
+		R:     make([]float64, 0, cfg.Steps+1),
+		Theta: make([]float64, 0, cfg.Steps+1),
+	}
+	pRec1 := 1 - math.Exp(-cfg.Eps1*cfg.Dt)
+	pRec2 := 1 - math.Exp(-cfg.Eps2*cfg.Dt)
+	next := make([]State, n)
+
+	record := func(t float64) {
+		var s, i, r int
+		var theta float64
+		for u, st := range state {
+			switch st {
+			case Susceptible:
+				s++
+			case Infected:
+				i++
+				theta += cfg.Omega(float64(g.OutDegree(u)))
+			case Recovered:
+				r++
+			}
+		}
+		res.T = append(res.T, t)
+		res.S = append(res.S, float64(s)/nf)
+		res.I = append(res.I, float64(i)/nf)
+		res.R = append(res.R, float64(r)/nf)
+		res.Theta = append(res.Theta, theta/(nf*meanK))
+	}
+	record(0)
+
+	for step := 1; step <= cfg.Steps; step++ {
+		// Global Θ for the annealed mode.
+		var theta float64
+		if cfg.Mode == ModeAnnealed {
+			for u, st := range state {
+				if st == Infected {
+					theta += cfg.Omega(float64(g.OutDegree(u)))
+				}
+			}
+			theta /= nf * meanK
+		}
+
+		copy(next, state)
+		for v, st := range state {
+			switch st {
+			case Susceptible:
+				var force float64
+				if cfg.Mode == ModeAnnealed {
+					force = lambda[v] * theta
+				} else {
+					var local float64
+					for _, u := range g.InNeighbors(v) {
+						if state[u] == Infected {
+							local += omegaOverDeg[u]
+						}
+					}
+					force = lambda[v] * local / meanK
+				}
+				// Competing risks: infection at rate force, immunization
+				// at rate ε1.
+				pInf := 1 - math.Exp(-force*cfg.Dt)
+				switch u := rng.Float64(); {
+				case u < pInf:
+					next[v] = Infected
+				case u < pInf+(1-pInf)*pRec1:
+					next[v] = Recovered
+				}
+			case Infected:
+				if rng.Float64() < pRec2 {
+					next[v] = Recovered
+				}
+			}
+		}
+		state, next = next, state
+		record(float64(step) * cfg.Dt)
+	}
+	return res, nil
+}
+
+// MeanRun averages trials independent runs sample-by-sample, reducing Monte
+// Carlo noise for comparisons against the deterministic ODE.
+func MeanRun(g *graph.Graph, cfg Config, trials int, rng *rand.Rand) (*Result, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("abm: trials = %d must be positive", trials)
+	}
+	var acc *Result
+	for trial := 0; trial < trials; trial++ {
+		r, err := Run(g, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = r
+			continue
+		}
+		for j := range acc.T {
+			acc.S[j] += r.S[j]
+			acc.I[j] += r.I[j]
+			acc.R[j] += r.R[j]
+			acc.Theta[j] += r.Theta[j]
+		}
+	}
+	inv := 1 / float64(trials)
+	for j := range acc.T {
+		acc.S[j] *= inv
+		acc.I[j] *= inv
+		acc.R[j] *= inv
+		acc.Theta[j] *= inv
+	}
+	return acc, nil
+}

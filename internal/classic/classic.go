@@ -1,0 +1,196 @@
+// Package classic implements the baseline rumor models the paper builds on
+// and compares against conceptually: the homogeneous-mixing SIR reduction
+// (what "overlooking network heterogeneity" means in the introduction) and
+// the classical Daley–Kendall (1965) and Maki–Thompson (1973) stochastic
+// rumor models, simulated exactly with the Gillespie algorithm.
+package classic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rumornet/internal/core"
+	"rumornet/internal/degreedist"
+)
+
+// Homogenize collapses a heterogeneous model onto a single degree group at
+// the mean degree ⟨k⟩, preserving α, ε1, ε2 and evaluating λ and ω at ⟨k⟩.
+// This is the homogeneous-mixing baseline of the ablation ablH: it answers
+// "what would the model predict if every user had average connectivity?".
+func Homogenize(m *core.Model) (*core.Model, error) {
+	if m == nil {
+		return nil, errors.New("classic: nil model")
+	}
+	k := int(math.Round(m.MeanDegree()))
+	if k < 1 {
+		k = 1
+	}
+	dist, err := degreedist.Uniform([]int{k})
+	if err != nil {
+		return nil, fmt.Errorf("classic: homogenize: %w", err)
+	}
+	return core.NewModel(dist, m.Params())
+}
+
+// DKVariant selects the classical stochastic rumor model variant.
+type DKVariant int
+
+// Variants.
+const (
+	// DaleyKendall: when two spreaders meet, BOTH become stiflers.
+	DaleyKendall DKVariant = iota + 1
+	// MakiThompson: when a spreader contacts another spreader or a
+	// stifler, only the INITIATING spreader becomes a stifler.
+	MakiThompson
+)
+
+// DKConfig parameterizes a classical rumor run.
+type DKConfig struct {
+	// N is the population size.
+	N int
+	// Spreaders0 is the initial number of spreaders (ignorants make up the
+	// rest; no stiflers initially).
+	Spreaders0 int
+	// Beta is the per-pair contact rate at which a spreader converts an
+	// ignorant (X + Y → 2Y).
+	Beta float64
+	// GammaStifle is the per-pair rate at which spreader-spreader or
+	// spreader-stifler contacts stifle (classically equal to Beta).
+	GammaStifle float64
+	// Variant selects Daley–Kendall or Maki–Thompson semantics.
+	Variant DKVariant
+	// MaxEvents bounds the Gillespie event count (default 10 N).
+	MaxEvents int
+}
+
+func (c DKConfig) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("classic: population %d too small", c.N)
+	case c.Spreaders0 < 1 || c.Spreaders0 >= c.N:
+		return fmt.Errorf("classic: initial spreaders %d outside [1, %d)", c.Spreaders0, c.N)
+	case c.Beta <= 0:
+		return fmt.Errorf("classic: Beta = %g must be positive", c.Beta)
+	case c.GammaStifle <= 0:
+		return fmt.Errorf("classic: GammaStifle = %g must be positive", c.GammaStifle)
+	case c.Variant != DaleyKendall && c.Variant != MakiThompson:
+		return fmt.Errorf("classic: unknown variant %d", int(c.Variant))
+	}
+	return nil
+}
+
+// DKResult is the outcome of one stochastic rumor realization.
+type DKResult struct {
+	// T holds event times; X, Y, Z the ignorant/spreader/stifler counts
+	// after each event (index 0 is the initial state at time 0).
+	T       []float64
+	X, Y, Z []int
+	// FinalIgnorant is X(∞)/N — the classical "final size" statistic
+	// (≈ 0.203 for Daley–Kendall with Beta = GammaStifle).
+	FinalIgnorant float64
+	// Extinct reports whether the spreader pool died out (always true at
+	// the end of a complete run).
+	Extinct bool
+}
+
+// RunDK simulates one realization of the classical rumor process with the
+// Gillespie stochastic simulation algorithm.
+func RunDK(cfg DKConfig, rng *rand.Rand) (*DKResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("classic: RunDK needs a rand source")
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 10 * cfg.N
+	}
+
+	x, y, z := cfg.N-cfg.Spreaders0, cfg.Spreaders0, 0
+	t := 0.0
+	res := &DKResult{
+		T: []float64{0},
+		X: []int{x}, Y: []int{y}, Z: []int{z},
+	}
+	nf := float64(cfg.N)
+
+	for ev := 0; y > 0 && ev < maxEvents; ev++ {
+		// Mass-action pair rates scaled by population.
+		rateSpread := cfg.Beta * float64(x) * float64(y) / nf
+		var rateStifleYY, rateStifleYZ float64
+		switch cfg.Variant {
+		case DaleyKendall:
+			// Unordered spreader pairs.
+			rateStifleYY = cfg.GammaStifle * float64(y) * float64(y-1) / (2 * nf)
+			rateStifleYZ = cfg.GammaStifle * float64(y) * float64(z) / nf
+		case MakiThompson:
+			// Ordered contacts: initiating spreader meets spreader/stifler.
+			rateStifleYY = cfg.GammaStifle * float64(y) * float64(y-1) / nf
+			rateStifleYZ = cfg.GammaStifle * float64(y) * float64(z) / nf
+		}
+		total := rateSpread + rateStifleYY + rateStifleYZ
+		if total <= 0 {
+			break
+		}
+		t += rng.ExpFloat64() / total
+		u := rng.Float64() * total
+		switch {
+		case u < rateSpread:
+			x--
+			y++
+		case u < rateSpread+rateStifleYY:
+			if cfg.Variant == DaleyKendall {
+				y -= 2
+				z += 2
+			} else {
+				y--
+				z++
+			}
+		default:
+			y--
+			z++
+		}
+		res.T = append(res.T, t)
+		res.X = append(res.X, x)
+		res.Y = append(res.Y, y)
+		res.Z = append(res.Z, z)
+	}
+	res.FinalIgnorant = float64(x) / nf
+	res.Extinct = y == 0
+	return res, nil
+}
+
+// DKFinalSize returns the deterministic final ignorant fraction θ of the
+// Daley–Kendall model with Beta = GammaStifle, the root of
+//
+//	θ = exp(−2(1−θ))           (≈ 0.2031878)
+//
+// computed by fixed-point iteration; the classical "80% of the population
+// eventually hears the rumor" result.
+func DKFinalSize() float64 {
+	theta := 0.2
+	for i := 0; i < 200; i++ {
+		theta = math.Exp(-2 * (1 - theta))
+	}
+	return theta
+}
+
+// MeanFinalIgnorant runs trials independent realizations and averages the
+// final ignorant fraction.
+func MeanFinalIgnorant(cfg DKConfig, trials int, rng *rand.Rand) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("classic: trials %d < 1", trials)
+	}
+	var sum float64
+	for i := 0; i < trials; i++ {
+		res, err := RunDK(cfg, rng)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.FinalIgnorant
+	}
+	return sum / float64(trials), nil
+}

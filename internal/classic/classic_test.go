@@ -1,0 +1,248 @@
+package classic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rumornet/internal/core"
+	"rumornet/internal/degreedist"
+)
+
+func heteroModel(t testing.TB) *core.Model {
+	t.Helper()
+	d, err := degreedist.TruncatedPowerLaw(1.5, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.CalibratedModel(d, 0.01, 0.1, 0.05, 1.8, degreedist.OmegaSaturating(0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHomogenize(t *testing.T) {
+	m := heteroModel(t)
+	h, err := Homogenize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 1 {
+		t.Fatalf("homogenized groups = %d, want 1", h.N())
+	}
+	wantK := math.Round(m.MeanDegree())
+	if got := float64(h.Dist().Degree(0)); got != wantK {
+		t.Errorf("homogenized degree = %v, want %v", got, wantK)
+	}
+	if h.Params().Alpha != m.Params().Alpha {
+		t.Error("Homogenize changed alpha")
+	}
+	if _, err := Homogenize(nil); err == nil {
+		t.Error("nil model: want error")
+	}
+}
+
+// TestHomogenizeUnderestimatesHeterogeneousThreshold demonstrates the
+// paper's motivation: ignoring degree heterogeneity distorts the threshold.
+func TestHomogenizeChangesThreshold(t *testing.T) {
+	m := heteroModel(t)
+	h, err := Homogenize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.R0()-m.R0()) < 1e-6 {
+		t.Errorf("homogenized r0 %v identical to heterogeneous %v; heterogeneity should matter",
+			h.R0(), m.R0())
+	}
+}
+
+func TestDKConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	good := DKConfig{N: 100, Spreaders0: 1, Beta: 1, GammaStifle: 1, Variant: DaleyKendall}
+	if _, err := RunDK(good, rng); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*DKConfig)
+	}{
+		{"tiny N", func(c *DKConfig) { c.N = 1 }},
+		{"no spreaders", func(c *DKConfig) { c.Spreaders0 = 0 }},
+		{"all spreaders", func(c *DKConfig) { c.Spreaders0 = 100 }},
+		{"zero beta", func(c *DKConfig) { c.Beta = 0 }},
+		{"zero gamma", func(c *DKConfig) { c.GammaStifle = 0 }},
+		{"bad variant", func(c *DKConfig) { c.Variant = 0 }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			c := good
+			tt.mutate(&c)
+			if _, err := RunDK(c, rng); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if _, err := RunDK(good, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+}
+
+func TestDKConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DKConfig{N: 500, Spreaders0: 5, Beta: 1, GammaStifle: 1, Variant: DaleyKendall}
+	res, err := RunDK(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.T {
+		if res.X[i]+res.Y[i]+res.Z[i] != cfg.N {
+			t.Fatalf("event %d: X+Y+Z = %d, want %d", i,
+				res.X[i]+res.Y[i]+res.Z[i], cfg.N)
+		}
+		if res.X[i] < 0 || res.Y[i] < 0 || res.Z[i] < 0 {
+			t.Fatalf("event %d: negative compartment", i)
+		}
+	}
+	if !res.Extinct {
+		t.Error("rumor did not go extinct")
+	}
+	// Times strictly increase.
+	for i := 1; i < len(res.T); i++ {
+		if res.T[i] <= res.T[i-1] {
+			t.Fatalf("time not increasing at event %d", i)
+		}
+	}
+}
+
+func TestDKFinalSizeFixedPoint(t *testing.T) {
+	theta := DKFinalSize()
+	// θ = exp(−2(1−θ)) — verify the fixed point and the classical value.
+	if math.Abs(theta-math.Exp(-2*(1-theta))) > 1e-12 {
+		t.Errorf("fixed point violated: θ = %v", theta)
+	}
+	if math.Abs(theta-0.2031878) > 1e-4 {
+		t.Errorf("θ = %v, want ≈ 0.2031878", theta)
+	}
+}
+
+// TestDKMatchesClassicalFinalSize checks the Gillespie simulation against
+// the classical 20.3% final ignorant fraction.
+func TestDKMatchesClassicalFinalSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DKConfig{N: 2000, Spreaders0: 2, Beta: 1, GammaStifle: 1, Variant: DaleyKendall}
+	mean, err := MeanFinalIgnorant(cfg, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-DKFinalSize()) > 0.03 {
+		t.Errorf("simulated final ignorant fraction %v, want ≈ %v", mean, DKFinalSize())
+	}
+}
+
+// TestMakiThompsonStiflesFaster: MT stifling contacts are ordered (rate
+// doubled for spreader-spreader meetings), so the rumor reaches fewer
+// people than under DK dynamics with the same rates... in expectation the
+// final ignorant fraction differs measurably.
+func TestMakiThompsonDiffersFromDK(t *testing.T) {
+	mt := DKConfig{N: 2000, Spreaders0: 2, Beta: 1, GammaStifle: 1, Variant: MakiThompson}
+	dk := mt
+	dk.Variant = DaleyKendall
+	mtMean, err := MeanFinalIgnorant(mt, 40, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dkMean, err := MeanFinalIgnorant(dk, 40, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mtMean-dkMean) < 1e-3 {
+		t.Errorf("MT (%v) and DK (%v) final sizes indistinguishable", mtMean, dkMean)
+	}
+}
+
+func TestMeanFinalIgnorantValidation(t *testing.T) {
+	cfg := DKConfig{N: 100, Spreaders0: 1, Beta: 1, GammaStifle: 1, Variant: DaleyKendall}
+	if _, err := MeanFinalIgnorant(cfg, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero trials: want error")
+	}
+}
+
+// Property: the final ignorant count never exceeds the initial one, and the
+// process always terminates extinct within the event budget at these sizes.
+func TestQuickDKMonotoneIgnorants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DKConfig{N: 300, Spreaders0: 3, Beta: 1, GammaStifle: 1, Variant: DaleyKendall}
+		res, err := RunDK(cfg, rng)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.X); i++ {
+			if res.X[i] > res.X[i-1] {
+				return false // ignorants can only decrease
+			}
+		}
+		return res.Extinct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDKMeanFieldMatchesFixedPoint(t *testing.T) {
+	mf := DKMeanField{Beta: 1, GammaStifle: 1}
+	final, err := mf.FinalIgnorant(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(final-DKFinalSize()) > 2e-3 {
+		t.Errorf("mean-field final ignorant = %v, want fixed point %v", final, DKFinalSize())
+	}
+}
+
+func TestDKMeanFieldMatchesGillespie(t *testing.T) {
+	// The stochastic process at N = 2000 should land near the ODE limit.
+	mf := DKMeanField{Beta: 1, GammaStifle: 1}
+	odeFinal, err := mf.FinalIgnorant(2.0 / 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DKConfig{N: 2000, Spreaders0: 2, Beta: 1, GammaStifle: 1, Variant: DaleyKendall}
+	mcFinal, err := MeanFinalIgnorant(cfg, 40, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(odeFinal-mcFinal) > 0.05 {
+		t.Errorf("ODE final %v vs Gillespie mean %v", odeFinal, mcFinal)
+	}
+}
+
+func TestDKMeanFieldConservesMass(t *testing.T) {
+	mf := DKMeanField{Beta: 1.5, GammaStifle: 0.8}
+	sol, err := mf.Solve(0.01, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range sol.Y {
+		if math.Abs(s[0]+s[1]+s[2]-1) > 1e-9 {
+			t.Fatalf("sample %d: x+y+z = %v", j, s[0]+s[1]+s[2])
+		}
+		if s[0] < -1e-12 || s[1] < -1e-9 || s[2] < -1e-12 {
+			t.Fatalf("sample %d: negative compartment %v", j, s)
+		}
+	}
+}
+
+func TestDKMeanFieldValidation(t *testing.T) {
+	if _, err := (DKMeanField{Beta: 0, GammaStifle: 1}).Solve(0.1, 10); err == nil {
+		t.Error("zero beta: want error")
+	}
+	if _, err := (DKMeanField{Beta: 1, GammaStifle: 1}).Solve(0, 10); err == nil {
+		t.Error("y0 = 0: want error")
+	}
+	if _, err := (DKMeanField{Beta: 1, GammaStifle: 1}).Solve(0.1, -1); err == nil {
+		t.Error("negative horizon: want error")
+	}
+}

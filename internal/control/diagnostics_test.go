@@ -1,0 +1,134 @@
+package control
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func hamiltonianSpread(hs []float64) (spread, scale float64) {
+	min, max := hs[0], hs[0]
+	var sum float64
+	for _, h := range hs {
+		if h < min {
+			min = h
+		}
+		if h > max {
+			max = h
+		}
+		sum += h
+	}
+	mean := sum / float64(len(hs))
+	return max - min, math.Abs(mean) + 1e-12
+}
+
+// TestHamiltonianConstantAlongOptimum is the Pontryagin optimality
+// diagnostic: for this autonomous problem, H is constant in time along an
+// extremal, so the FBSM policy's H series must be nearly flat.
+func TestHamiltonianConstantAlongOptimum(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	opts := Options{Grid: testGrid, Eps1Max: testEps1Max, Eps2Max: testEps2Max, Cost: testCost}
+	pol, err := Optimize(m, ic, testTf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := HamiltonianSeries(m, ic, pol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != len(pol.Schedule.T) {
+		t.Fatalf("series length %d, want %d", len(hs), len(pol.Schedule.T))
+	}
+	spread, scale := hamiltonianSpread(hs)
+	if spread > 0.15*scale {
+		t.Errorf("H spread %v vs scale %v: not constant along the optimum", spread, scale)
+	}
+}
+
+// TestHamiltonianFlatterThanSuboptimal: a non-optimal constant policy's H
+// (with its own co-states) varies more than the optimum's.
+func TestHamiltonianFlatterThanSuboptimal(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	opts := Options{Grid: testGrid, Eps1Max: testEps1Max, Eps2Max: testEps2Max, Cost: testCost}
+	pol, err := Optimize(m, ic, testTf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optHS, err := HamiltonianSeries(m, ic, pol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subSched, err := NewConstantSchedule(testTf, testGrid, testEps1Max, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subHS, err := HamiltonianSeries(m, ic, &Policy{Schedule: subSched}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optSpread, optScale := hamiltonianSpread(optHS)
+	subSpread, subScale := hamiltonianSpread(subHS)
+	if optSpread/optScale >= subSpread/subScale {
+		t.Errorf("optimal H relative spread %v not below suboptimal %v",
+			optSpread/optScale, subSpread/subScale)
+	}
+}
+
+func TestHamiltonianSeriesValidation(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	opts := Options{Eps1Max: 1, Eps2Max: 1, Cost: testCost}
+	if _, err := HamiltonianSeries(m, ic, nil, opts); err == nil {
+		t.Error("nil policy: want error")
+	}
+	if _, err := HamiltonianSeries(m, ic, &Policy{}, opts); err == nil {
+		t.Error("nil schedule: want error")
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s, err := NewConstantSchedule(10, 4, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Eps1[2] = 0.35
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"eps1"`) {
+		t.Errorf("JSON missing eps1 field: %s", buf.String())
+	}
+	got, err := ReadScheduleJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon() != 10 || got.Eps1[2] != 0.35 || got.Eps2[0] != 0.2 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadScheduleJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"t":[0],"eps1":[0],"eps2":[0]}`,        // single node
+		`{"t":[0,1],"eps1":[0],"eps2":[0,0]}`,    // length mismatch
+		`{"t":[0,1],"eps1":[0,-1],"eps2":[0,0]}`, // negative control
+		`{"t":[1,0],"eps1":[0,0],"eps2":[0,0]}`,  // non-increasing grid
+	}
+	for _, in := range cases {
+		if _, err := ReadScheduleJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadScheduleJSON(%q): want error", in)
+		}
+	}
+}
+
+func TestWriteJSONRejectsInvalidSchedule(t *testing.T) {
+	s := &Schedule{T: []float64{0}}
+	if err := s.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("invalid schedule: want error")
+	}
+}

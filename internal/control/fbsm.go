@@ -1,0 +1,298 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rumornet/internal/core"
+	"rumornet/internal/floats"
+	"rumornet/internal/ode"
+)
+
+// Adjoint selects the co-state system integrated in the backward sweep.
+type Adjoint int
+
+// Adjoint variants.
+const (
+	// AdjointExact is the mathematically exact adjoint of System (1),
+	// including the cross-group coupling of Θ through every group:
+	//
+	//	dφ_i/dt = −2 c2 ε2² I_i + (φ(k_i)/⟨k⟩) Σ_j (ψ_j − φ_j) λ_j S_j + φ_i ε2.
+	AdjointExact Adjoint = iota + 1
+	// AdjointDiagonal is the paper's Equation (16), which keeps only the
+	// i = j term of the coupling sum. Provided for ablation; see DESIGN.md.
+	AdjointDiagonal
+)
+
+// Options configures Optimize.
+type Options struct {
+	// Grid is the number of uniform time intervals (default 1000).
+	Grid int
+	// MaxIter bounds the FBSM iterations (default 100).
+	MaxIter int
+	// Tol is the convergence tolerance on the relative L1 change of both
+	// controls between sweeps (default 1e-4).
+	Tol float64
+	// Relax is the control-update relaxation θ ∈ (0, 1]:
+	// u ← (1−θ)u + θ·clamp(u*) (default 0.5).
+	Relax float64
+	// Adjoint selects the co-state system (default AdjointExact).
+	Adjoint Adjoint
+	// Eps1Max and Eps2Max are the admissible-control upper bounds of
+	// Equation (19); both required (> 0).
+	Eps1Max, Eps2Max float64
+	// Cost holds the unit costs c1, c2; both must be positive (the
+	// stationary controls (18) divide by them).
+	Cost Cost
+	// TerminalWeight scales the terminal objective: J = w·ΣI(tf) + ∫(...).
+	// The paper's objective has w = 1 (default); OptimizeToTarget raises w
+	// to force the terminal infection below a target.
+	TerminalWeight float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Grid <= 0 {
+		o.Grid = 1000
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+	if o.Relax <= 0 || o.Relax > 1 {
+		o.Relax = 0.5
+	}
+	if o.Adjoint == 0 {
+		o.Adjoint = AdjointExact
+	}
+	if o.TerminalWeight <= 0 {
+		o.TerminalWeight = 1
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Eps1Max <= 0 || o.Eps2Max <= 0 {
+		return fmt.Errorf("control: admissible bounds required (Eps1Max=%g, Eps2Max=%g)",
+			o.Eps1Max, o.Eps2Max)
+	}
+	if o.Cost.C1 <= 0 || o.Cost.C2 <= 0 {
+		return fmt.Errorf("control: positive unit costs required (c1=%g, c2=%g)",
+			o.Cost.C1, o.Cost.C2)
+	}
+	if o.Adjoint != AdjointExact && o.Adjoint != AdjointDiagonal {
+		return fmt.Errorf("control: unknown adjoint variant %d", int(o.Adjoint))
+	}
+	return nil
+}
+
+// Policy is the result of an FBSM run.
+type Policy struct {
+	// Schedule holds the optimized ε1(t), ε2(t).
+	Schedule *Schedule
+	// Cost is the objective breakdown of the final schedule (with unit
+	// terminal weight, i.e. the paper's J).
+	Cost Breakdown
+	// Trajectory is the state trajectory under the final schedule.
+	Trajectory *core.Trajectory
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Converged reports whether the control change fell below Tol.
+	Converged bool
+}
+
+// Optimize runs the forward–backward sweep method for the optimal
+// countermeasure problem over (0, tf] from the packed initial condition ic.
+func Optimize(m *core.Model, ic []float64, tf float64, opts Options) (*Policy, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(ic) != m.StateDim() {
+		return nil, fmt.Errorf("control: initial condition dimension %d, want %d",
+			len(ic), m.StateDim())
+	}
+	// Initial guess: mid-range constant controls.
+	sched, err := NewConstantSchedule(tf, opts.Grid, opts.Eps1Max/2, opts.Eps2Max/2)
+	if err != nil {
+		return nil, err
+	}
+
+	n := m.N()
+	ng := len(sched.T)
+	policy := &Policy{}
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// (1) Forward sweep: state under current controls.
+		tr, err := simulateOnGrid(m, ic, sched)
+		if err != nil {
+			return nil, fmt.Errorf("control: forward sweep %d: %w", iter, err)
+		}
+
+		// (2) Backward sweep: co-states with transversality
+		// ψ(tf) = 0, φ(tf) = w.
+		psi, phi, err := backwardSweep(m, tr, sched, opts)
+		if err != nil {
+			return nil, fmt.Errorf("control: backward sweep %d: %w", iter, err)
+		}
+
+		// (3) Control update: clamped stationary point (18)–(19) with
+		// relaxation.
+		var change, norm float64
+		for j := 0; j < ng; j++ {
+			y := tr.Y[j]
+			var (
+				psiS, s2 float64
+				phiI, i2 float64
+			)
+			for i := 0; i < n; i++ {
+				s, inf := y[i], y[n+i]
+				psiS += psi[j][i] * s
+				s2 += s * s
+				phiI += phi[j][i] * inf
+				i2 += inf * inf
+			}
+			star1 := 0.0
+			if s2 > 0 {
+				star1 = psiS / (2 * opts.Cost.C1 * s2)
+			}
+			star2 := 0.0
+			if i2 > 0 {
+				star2 = phiI / (2 * opts.Cost.C2 * i2)
+			}
+			star1 = floats.Clamp(star1, 0, opts.Eps1Max)
+			star2 = floats.Clamp(star2, 0, opts.Eps2Max)
+
+			new1 := (1-opts.Relax)*sched.Eps1[j] + opts.Relax*star1
+			new2 := (1-opts.Relax)*sched.Eps2[j] + opts.Relax*star2
+			change += math.Abs(new1-sched.Eps1[j]) + math.Abs(new2-sched.Eps2[j])
+			norm += math.Abs(new1) + math.Abs(new2)
+			sched.Eps1[j] = new1
+			sched.Eps2[j] = new2
+		}
+
+		policy.Iterations = iter
+		if change <= opts.Tol*math.Max(norm, 1e-12) {
+			policy.Converged = true
+			break
+		}
+	}
+
+	bd, tr, err := EvaluateCost(m, ic, sched, opts.Cost)
+	if err != nil {
+		return nil, fmt.Errorf("control: final evaluation: %w", err)
+	}
+	policy.Schedule = sched
+	policy.Cost = bd
+	policy.Trajectory = tr
+	return policy, nil
+}
+
+// backwardSweep integrates the co-state system from tf to 0 and returns
+// ψ[j][i], φ[j][i] aligned with the schedule grid.
+func backwardSweep(m *core.Model, tr *core.Trajectory, sched *Schedule, opts Options) (psi, phi [][]float64, err error) {
+	n := m.N()
+	ng := len(sched.T)
+	tf := sched.Horizon()
+	meanK := m.MeanDegree()
+
+	// Packed co-state z = [ψ_1..ψ_n, φ_1..φ_n] as a function of reversed
+	// time τ = tf − t: dz/dτ = −g(tf − τ, z).
+	costateRHS := func(tau float64, z, dz []float64) {
+		t := tf - tau
+		y := tr.At(t)
+		e1 := sched.Eps1At(t)
+		e2 := sched.Eps2At(t)
+		theta := m.Theta(y)
+
+		// Cross-group coupling Σ_j (ψ_j − φ_j) λ_j S_j (exact adjoint).
+		var coupling float64
+		if opts.Adjoint == AdjointExact {
+			for j := 0; j < n; j++ {
+				coupling += (z[j] - z[n+j]) * m.Lambda(j) * y[j]
+			}
+		}
+
+		c1, c2 := opts.Cost.C1, opts.Cost.C2
+		for i := 0; i < n; i++ {
+			s, inf := y[i], y[n+i]
+			lam := m.Lambda(i)
+			// dψ_i/dt = −2c1ε1²S_i + ψ_i(λΘ + ε1) − φ_iλΘ
+			dpsi := -2*c1*e1*e1*s + z[i]*(lam*theta+e1) - z[n+i]*lam*theta
+
+			var dphi float64
+			switch opts.Adjoint {
+			case AdjointExact:
+				// dφ_i/dt = −2c2ε2²I_i + (φ(k_i)/⟨k⟩)Σ_j(ψ_j−φ_j)λ_jS_j + φ_iε2
+				dphi = -2*c2*e2*e2*inf + m.Varphi(i)/meanK*coupling + z[n+i]*e2
+			default: // AdjointDiagonal — the paper's Equation (16)
+				kterm := m.Varphi(i) / meanK * lam * s
+				dphi = -2*c2*e2*e2*inf + z[i]*kterm - z[n+i]*(kterm-e2)
+			}
+			// Reversed time flips the sign.
+			dz[i] = -dpsi
+			dz[n+i] = -dphi
+		}
+	}
+
+	// Transversality: ψ(tf) = 0, φ(tf) = TerminalWeight.
+	z0 := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		z0[n+i] = opts.TerminalWeight
+	}
+	h := sched.T[1] - sched.T[0]
+	sol, err := ode.SolveFixed(costateRHS, z0, 0, tf, h, &ode.RK4{}, &ode.Options{Record: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.Len() != ng {
+		return nil, nil, errors.New("control: co-state samples misaligned with grid")
+	}
+
+	// Unreverse: co-state at grid node j is the backward sample ng-1-j.
+	psi = make([][]float64, ng)
+	phi = make([][]float64, ng)
+	for j := 0; j < ng; j++ {
+		z := sol.Y[ng-1-j]
+		psi[j] = z[:n]
+		phi[j] = z[n : 2*n]
+	}
+	return psi, phi, nil
+}
+
+// OptimizeToTarget finds a policy whose terminal population-weighted
+// infected density Σ_i P(k_i) I_i(tf) is at most target, by geometrically
+// raising the terminal weight until the constraint holds. It returns the
+// first satisfying policy (with its J evaluated at unit terminal weight,
+// the paper's objective).
+func OptimizeToTarget(m *core.Model, ic []float64, tf, target float64, opts Options) (*Policy, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("control: non-positive target %g", target)
+	}
+	weight := 1.0
+	const maxBoost = 30
+	for boost := 0; boost < maxBoost; boost++ {
+		opts.TerminalWeight = weight
+		pol, err := Optimize(m, ic, tf, opts)
+		if err != nil {
+			return nil, err
+		}
+		if meanTerminalI(m, pol.Trajectory) <= target {
+			return pol, nil
+		}
+		weight *= 2
+	}
+	return nil, fmt.Errorf("control: terminal infection target %g unreachable within bounds "+
+		"(ε1 ≤ %g, ε2 ≤ %g, tf = %g)", target, opts.Eps1Max, opts.Eps2Max, tf)
+}
+
+func meanTerminalI(m *core.Model, tr *core.Trajectory) float64 {
+	_, yf := tr.Last()
+	var s float64
+	for i := 0; i < m.N(); i++ {
+		s += m.Dist().Prob(i) * m.I(yf, i)
+	}
+	return s
+}

@@ -1,0 +1,27 @@
+package control
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadScheduleJSON checks the schedule decoder never panics and every
+// accepted schedule validates.
+func FuzzReadScheduleJSON(f *testing.F) {
+	f.Add(`{"t":[0,1],"eps1":[0.1,0.2],"eps2":[0,0]}`)
+	f.Add(`{"t":[1,0],"eps1":[0,0],"eps2":[0,0]}`)
+	f.Add(`{}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadScheduleJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted schedule fails validation: %v", err)
+		}
+		// Interpolation must be total on accepted schedules.
+		_ = s.Eps1At(s.Horizon() / 2)
+		_ = s.Eps2At(-1)
+	})
+}

@@ -1,0 +1,130 @@
+package control
+
+import (
+	"fmt"
+
+	"rumornet/internal/core"
+)
+
+// HeuristicPolicy builds the paper's comparison baseline (Fig. 4(c)): a
+// feedback controller that reacts only to the current infection state with
+// no global (anticipatory) planning. At each grid node it sets
+//
+//	ε2(t) = min(gain · Ī(t), eps2Max)   — block harder when infection is high,
+//	ε1(t) = min(gain · Ī(t), eps1Max)   — immunize in proportion as well,
+//
+// where Ī(t) = Σ_i P(k_i) I_i(t) is the population-weighted infected
+// density. The controls are computed step-by-step alongside the forward
+// integration, exactly like an operator reacting to the live infection
+// level.
+func HeuristicPolicy(m *core.Model, ic []float64, tf, gain float64, grid int, eps1Max, eps2Max float64, cost Cost) (*Policy, error) {
+	if gain < 0 {
+		return nil, fmt.Errorf("control: negative gain %g", gain)
+	}
+	if grid < 1 {
+		return nil, fmt.Errorf("control: need at least 1 grid interval, got %d", grid)
+	}
+	sched, err := NewConstantSchedule(tf, grid, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(ic) != m.StateDim() {
+		return nil, fmt.Errorf("control: initial condition dimension %d, want %d",
+			len(ic), m.StateDim())
+	}
+
+	// The feedback loop: integrate one grid step at a time, setting the
+	// controls from the state at the step start (zero-order hold).
+	n := m.N()
+	y := append([]float64(nil), ic...)
+	for j := 0; j < len(sched.T); j++ {
+		var meanI float64
+		for i := 0; i < n; i++ {
+			meanI += m.Dist().Prob(i) * y[n+i]
+		}
+		e1 := gain * meanI
+		if e1 > eps1Max {
+			e1 = eps1Max
+		}
+		e2 := gain * meanI
+		if e2 > eps2Max {
+			e2 = eps2Max
+		}
+		sched.Eps1[j] = e1
+		sched.Eps2[j] = e2
+		if j+1 == len(sched.T) {
+			break
+		}
+		step, err := m.Simulate(y, sched.T[j+1]-sched.T[j], &core.SimOptions{
+			Step:   sched.T[j+1] - sched.T[j],
+			Record: 1,
+			Eps1At: func(float64) float64 { return e1 },
+			Eps2At: func(float64) float64 { return e2 },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("control: heuristic step %d: %w", j, err)
+		}
+		_, y = step.Last()
+	}
+
+	bd, tr, err := EvaluateCost(m, ic, sched, cost)
+	if err != nil {
+		return nil, fmt.Errorf("control: heuristic evaluation: %w", err)
+	}
+	return &Policy{Schedule: sched, Cost: bd, Trajectory: tr, Converged: true}, nil
+}
+
+// CalibrateHeuristic finds, by bisection, the smallest feedback gain whose
+// heuristic policy drives the terminal population-weighted infected density
+// below target. The cost of aggressive feedback grows with the gain, so the
+// smallest satisfying gain is the cheapest heuristic — the fair comparator
+// for Fig. 4(c).
+func CalibrateHeuristic(m *core.Model, ic []float64, tf, target float64, grid int, eps1Max, eps2Max float64, cost Cost) (*Policy, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("control: non-positive target %g", target)
+	}
+	terminal := func(gain float64) (*Policy, float64, error) {
+		pol, err := HeuristicPolicy(m, ic, tf, gain, grid, eps1Max, eps2Max, cost)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pol, meanTerminalI(m, pol.Trajectory), nil
+	}
+
+	// Bracket: find a high gain that satisfies the target.
+	hi := 1.0
+	var (
+		polHi *Policy
+		err   error
+	)
+	for iter := 0; ; iter++ {
+		var term float64
+		polHi, term, err = terminal(hi)
+		if err != nil {
+			return nil, err
+		}
+		if term <= target {
+			break
+		}
+		if iter >= 60 {
+			return nil, fmt.Errorf("control: heuristic cannot reach terminal target %g "+
+				"(bounds ε1 ≤ %g, ε2 ≤ %g, tf = %g)", target, eps1Max, eps2Max, tf)
+		}
+		hi *= 2
+	}
+	lo := 0.0
+	for iter := 0; iter < 40 && hi-lo > 1e-6*hi; iter++ {
+		mid := (lo + hi) / 2
+		pol, term, err := terminal(mid)
+		if err != nil {
+			return nil, err
+		}
+		if term <= target {
+			hi = mid
+			polHi = pol
+		} else {
+			lo = mid
+		}
+	}
+	return polHi, nil
+}

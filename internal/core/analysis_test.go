@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumornet/internal/degreedist"
+)
+
+func TestSensitivityClosedForm(t *testing.T) {
+	m := extinctModel(t)
+	s := m.Sensitivity()
+	p := m.Params()
+	if math.Abs(s.DAlpha-s.R0/p.Alpha) > 1e-12 {
+		t.Errorf("DAlpha = %v, want %v", s.DAlpha, s.R0/p.Alpha)
+	}
+	if math.Abs(s.DEps1+s.R0/p.Eps1) > 1e-12 {
+		t.Errorf("DEps1 = %v, want %v", s.DEps1, -s.R0/p.Eps1)
+	}
+	if s.ElastAlpha != 1 || s.ElastEps1 != -1 || s.ElastEps2 != -1 {
+		t.Errorf("elasticities = %+v", s)
+	}
+}
+
+// TestSensitivityMatchesFiniteDifference validates the closed forms
+// numerically.
+func TestSensitivityMatchesFiniteDifference(t *testing.T) {
+	m := extinctModel(t)
+	p := m.Params()
+	s := m.Sensitivity()
+	const h = 1e-7
+
+	fd := func(perturb func(*Params, float64)) float64 {
+		pp := p
+		perturb(&pp, h)
+		mp, err := NewModel(m.Dist(), pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm := p
+		perturb(&pm, -h)
+		mm, err := NewModel(m.Dist(), pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (mp.R0() - mm.R0()) / (2 * h)
+	}
+
+	if got := fd(func(q *Params, d float64) { q.Alpha += d }); math.Abs(got-s.DAlpha) > 1e-4*(1+math.Abs(s.DAlpha)) {
+		t.Errorf("∂r0/∂α finite diff %v vs closed form %v", got, s.DAlpha)
+	}
+	if got := fd(func(q *Params, d float64) { q.Eps1 += d }); math.Abs(got-s.DEps1) > 1e-3*(1+math.Abs(s.DEps1)) {
+		t.Errorf("∂r0/∂ε1 finite diff %v vs closed form %v", got, s.DEps1)
+	}
+	if got := fd(func(q *Params, d float64) { q.Eps2 += d }); math.Abs(got-s.DEps2) > 1e-3*(1+math.Abs(s.DEps2)) {
+		t.Errorf("∂r0/∂ε2 finite diff %v vs closed form %v", got, s.DEps2)
+	}
+}
+
+func TestRequiredEps(t *testing.T) {
+	m := epidemicModel(t) // r0 = 2.1661
+	e2, err := m.RequiredEps2(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify: with ε2 = e2 the threshold equals 0.9.
+	if got := m.R0At(m.Params().Eps1, e2); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("r0 at required ε2 = %v, want 0.9", got)
+	}
+	e1, err := m.RequiredEps1(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.R0At(e1, m.Params().Eps2); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("r0 at required ε1 = %v, want 0.9", got)
+	}
+	if _, err := m.RequiredEps2(0); err == nil {
+		t.Error("target 0: want error")
+	}
+	if _, err := m.RequiredEps1(-1); err == nil {
+		t.Error("negative target: want error")
+	}
+}
+
+func TestSweepVerdicts(t *testing.T) {
+	m := extinctModel(t)
+	eps1s := []float64{0.01, 0.5}
+	eps2s := []float64{0.01, 0.5}
+	v, err := m.SweepVerdicts(eps1s, eps2s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak countermeasures: epidemic; strong: extinct.
+	if v[0][0] != VerdictEpidemic {
+		t.Errorf("weak corner = %v, want epidemic", v[0][0])
+	}
+	if v[1][1] != VerdictExtinct {
+		t.Errorf("strong corner = %v, want extinct", v[1][1])
+	}
+	// Monotonicity along each axis: once extinct, stronger stays extinct.
+	for i := range eps1s {
+		for j := 1; j < len(eps2s); j++ {
+			if v[i][j-1] == VerdictExtinct && v[i][j] != VerdictExtinct {
+				t.Errorf("verdict not monotone in ε2 at (%d, %d)", i, j)
+			}
+		}
+	}
+	if _, err := m.SweepVerdicts(nil, eps2s); err == nil {
+		t.Error("empty axis: want error")
+	}
+	if _, err := m.SweepVerdicts([]float64{0}, eps2s); err == nil {
+		t.Error("zero ε1: want error")
+	}
+	if _, err := m.SweepVerdicts(eps1s, []float64{-1}); err == nil {
+		t.Error("negative ε2: want error")
+	}
+}
+
+func TestTrajectoryPeak(t *testing.T) {
+	m := extinctModel(t)
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Simulate(ic, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := tr.Peak()
+	mean := tr.MeanISeries()
+	if pk.Value < mean[0] || pk.Value < mean[len(mean)-1] {
+		t.Errorf("peak %v below endpoints", pk.Value)
+	}
+	if pk.Time < 0 || pk.Time > 200 {
+		t.Errorf("peak time %v outside horizon", pk.Time)
+	}
+}
+
+func TestTimeToExtinction(t *testing.T) {
+	m := extinctModel(t)
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Simulate(ic, 800, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tExt, err := tr.TimeToExtinction(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tExt <= 0 || tExt >= 800 {
+		t.Errorf("extinction time = %v", tExt)
+	}
+	// After tExt the infection stays below the threshold.
+	mean := tr.MeanISeries()
+	for j, tj := range tr.T {
+		if tj >= tExt && mean[j] >= 0.01 {
+			t.Fatalf("infection %v above threshold at t=%v >= tExt=%v", mean[j], tj, tExt)
+		}
+	}
+	// A threshold that is never reached errors.
+	if _, err := tr.TimeToExtinction(1e-12); !errors.Is(err, ErrNotExtinct) {
+		t.Errorf("unreachable threshold error = %v, want ErrNotExtinct", err)
+	}
+	if _, err := tr.TimeToExtinction(0); err == nil {
+		t.Error("zero threshold: want error")
+	}
+	// A threshold above the initial value: extinct from the start.
+	t0, err := tr.TimeToExtinction(0.99)
+	if err != nil || t0 != tr.T[0] {
+		t.Errorf("instant extinction = %v, %v", t0, err)
+	}
+}
+
+// Property: RequiredEps2 inverts R0At exactly for random targets.
+func TestQuickRequiredEps2Inverts(t *testing.T) {
+	m := epidemicModel(t)
+	f := func(raw uint8) bool {
+		target := 0.1 + float64(raw)/255*4
+		e2, err := m.RequiredEps2(target)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.R0At(m.Params().Eps1, e2)-target) < 1e-9*(1+target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the verdict sweep is consistent with R0At everywhere.
+func TestQuickSweepConsistent(t *testing.T) {
+	d, err := degreedist.TruncatedPowerLaw(1.5, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CalibratedModel(d, 0.01, 0.1, 0.05, 1.5, degreedist.OmegaSaturating(0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(r1, r2 uint8) bool {
+		e1 := 0.01 + float64(r1)/255
+		e2 := 0.01 + float64(r2)/255
+		v, err := m.SweepVerdicts([]float64{e1}, []float64{e2})
+		if err != nil {
+			return false
+		}
+		want := VerdictEpidemic
+		if m.R0At(e1, e2) <= 1 {
+			want = VerdictExtinct
+		}
+		return v[0][0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

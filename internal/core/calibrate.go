@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"rumornet/internal/degreedist"
+)
+
+// CalibrateLambdaScale returns the scale of a linear acceptance rate
+// λ(k) = scale·k such that the model's threshold equals targetR0 on the
+// given distribution and parameters — the per-experiment calibration knob
+// described in DESIGN.md (the paper's printed r0 values, 0.7220 and 2.1661,
+// are not recoverable from its stated parameters alone).
+//
+// From r0 = (α/⟨k⟩ε1ε2)·Σ λ(k_i)φ(k_i) with λ(k) = scale·k:
+//
+//	scale = targetR0 · ⟨k⟩ · ε1 · ε2 / (α · Σ k_i φ(k_i)).
+func CalibrateLambdaScale(dist *degreedist.Dist, alpha, eps1, eps2, targetR0 float64, omega degreedist.KFunc) (float64, error) {
+	if dist == nil || omega == nil {
+		return 0, fmt.Errorf("core: calibration needs a distribution and ω")
+	}
+	if err := dist.Validate(); err != nil {
+		return 0, fmt.Errorf("core: calibration: %w", err)
+	}
+	if alpha <= 0 || eps1 <= 0 || eps2 <= 0 || targetR0 <= 0 {
+		return 0, fmt.Errorf("core: calibration needs positive α, ε1, ε2, r0 (got %g, %g, %g, %g)",
+			alpha, eps1, eps2, targetR0)
+	}
+	// Σ k_i ω(k_i) P(k_i) = E[k ω(k)].
+	sumKPhi := dist.Moment(func(k float64) float64 { return k * omega(k) })
+	if sumKPhi <= 0 {
+		return 0, fmt.Errorf("core: E[k·ω(k)] = %g not positive", sumKPhi)
+	}
+	return targetR0 * dist.MeanDegree() * eps1 * eps2 / (alpha * sumKPhi), nil
+}
+
+// CalibratedModel builds a model whose threshold is exactly targetR0 using
+// the linear acceptance family and the given infectivity.
+func CalibratedModel(dist *degreedist.Dist, alpha, eps1, eps2, targetR0 float64, omega degreedist.KFunc) (*Model, error) {
+	scale, err := CalibrateLambdaScale(dist, alpha, eps1, eps2, targetR0, omega)
+	if err != nil {
+		return nil, err
+	}
+	return NewModel(dist, Params{
+		Alpha:  alpha,
+		Eps1:   eps1,
+		Eps2:   eps2,
+		Lambda: degreedist.LambdaLinear(scale),
+		Omega:  omega,
+	})
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Equilibrium is a fixed point of System (1) in packed [S..., I...] layout.
+type Equilibrium struct {
+	// Y is the packed state [S_1..S_n, I_1..I_n].
+	Y []float64
+	// Theta is the equilibrium average infectivity Θ*.
+	Theta float64
+	// Physical reports whether every group satisfies the paper's state
+	// space Ω: S, I ≥ 0 and S + I ≤ 1. The raw ODE system does not enforce
+	// Ω (its α-inflow has no outflow), so extreme parameters can yield
+	// formally correct but unphysical equilibria; see DESIGN.md.
+	Physical bool
+}
+
+// ZeroEquilibrium returns E0 of Theorem 1 Case 1:
+// S_i = α/ε1, I_i = 0 (and hence R_i = 1 − α/ε1). It always exists.
+func (m *Model) ZeroEquilibrium() *Equilibrium {
+	y := make([]float64, 2*m.n)
+	s0 := m.p.Alpha / m.p.Eps1
+	for i := 0; i < m.n; i++ {
+		y[i] = s0
+	}
+	return &Equilibrium{
+		Y:        y,
+		Theta:    0,
+		Physical: s0 <= 1,
+	}
+}
+
+// ErrNoPositiveEquilibrium is returned by PositiveEquilibrium when r0 ≤ 1
+// (Theorem 1 Case 1: only E0 exists).
+var ErrNoPositiveEquilibrium = errors.New("core: no positive equilibrium (r0 <= 1)")
+
+// FTheta evaluates the fixed-point function of Equation (5),
+//
+//	F(Θ) = 1 − (1/⟨k⟩) Σ α λ(k_i) φ(k_i) / (ε2 (λ(k_i) Θ + ε1)),
+//
+// whose positive root is the equilibrium infectivity Θ+. F is strictly
+// increasing with F(0+) = 1 − r0 and F(∞) = 1.
+func (m *Model) FTheta(theta float64) float64 {
+	var sum float64
+	alpha, e1, e2 := m.p.Alpha, m.p.Eps1, m.p.Eps2
+	for i := 0; i < m.n; i++ {
+		lam := m.lambda[i]
+		sum += alpha * lam * m.varphi[i] / (e2 * (lam*theta + e1))
+	}
+	return 1 - sum/m.meanK
+}
+
+// PositiveEquilibrium computes E+ of Theorem 1 Case 2 by bisection on
+// F(Θ) = 0. It returns ErrNoPositiveEquilibrium when r0 ≤ 1.
+func (m *Model) PositiveEquilibrium() (*Equilibrium, error) {
+	if m.R0() <= 1 {
+		return nil, ErrNoPositiveEquilibrium
+	}
+	// F(0+) = 1 − r0 < 0 and F is strictly increasing to 1, so a bracket
+	// [lo, hi] with F(hi) > 0 always exists; grow hi geometrically.
+	lo := 0.0
+	hi := 1.0
+	for iter := 0; m.FTheta(hi) <= 0; iter++ {
+		if iter > 200 {
+			return nil, errors.New("core: failed to bracket Θ+ (F never positive)")
+		}
+		hi *= 2
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-15*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if m.FTheta(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	thetaPlus := (lo + hi) / 2
+	if thetaPlus <= 0 {
+		return nil, fmt.Errorf("core: bisection collapsed to Θ+ = %g", thetaPlus)
+	}
+
+	// Back-substitute (Theorem 1 Case 2):
+	//   I+_i = α λ Θ+ / (ε2 (λ Θ+ + ε1)),  S+_i = ε2 I+_i / (λ Θ+).
+	y := make([]float64, 2*m.n)
+	alpha, e1, e2 := m.p.Alpha, m.p.Eps1, m.p.Eps2
+	physical := true
+	for i := 0; i < m.n; i++ {
+		lt := m.lambda[i] * thetaPlus
+		ip := alpha * lt / (e2 * (lt + e1))
+		var sp float64
+		if lt > 0 {
+			sp = e2 * ip / lt
+		} else {
+			sp = alpha / e1 // group decoupled from the rumor (λ = 0)
+		}
+		y[i] = sp
+		y[m.n+i] = ip
+		if sp < 0 || ip < 0 || sp+ip > 1+1e-9 {
+			physical = false
+		}
+	}
+	return &Equilibrium{Y: y, Theta: thetaPlus, Physical: physical}, nil
+}
+
+// Equilibria bundles the full Theorem 1 analysis at the model's
+// countermeasure level.
+type Equilibria struct {
+	R0       float64
+	Verdict  Verdict
+	Zero     *Equilibrium
+	Positive *Equilibrium // nil when r0 ≤ 1
+}
+
+// Analyze computes r0, the verdict, and all equilibrium solutions.
+func (m *Model) Analyze() (*Equilibria, error) {
+	eq := &Equilibria{
+		R0:      m.R0(),
+		Verdict: m.Classify(),
+		Zero:    m.ZeroEquilibrium(),
+	}
+	if eq.R0 > 1 {
+		pos, err := m.PositiveEquilibrium()
+		if err != nil {
+			return nil, err
+		}
+		eq.Positive = pos
+	}
+	return eq, nil
+}
+
+// LyapunovV0 evaluates the Lyapunov function of Theorem 3, V = Θ/ε2, whose
+// trajectory derivative is Θ(t)(r0(S) − 1); it decreases once the
+// susceptible densities have fallen below their equilibrium level.
+func (m *Model) LyapunovV0(y []float64) float64 {
+	return m.Theta(y) / m.p.Eps2
+}
+
+// LyapunovVPlus evaluates the Lyapunov function of Theorem 4 around the
+// positive equilibrium eq:
+//
+//	V = (1/2⟨k⟩) Σ φ_i (S_i − S+_i)²/S+_i  +  Θ − Θ+ − Θ+ ln(Θ/Θ+).
+//
+// It is non-negative and vanishes exactly at E+. The state must have
+// Θ(y) > 0.
+func (m *Model) LyapunovVPlus(y []float64, eq *Equilibrium) (float64, error) {
+	if eq == nil || eq.Theta <= 0 {
+		return 0, errors.New("core: LyapunovVPlus needs a positive equilibrium")
+	}
+	theta := m.Theta(y)
+	if theta <= 0 {
+		return 0, fmt.Errorf("core: LyapunovVPlus undefined at Θ = %g", theta)
+	}
+	var sum float64
+	for i := 0; i < m.n; i++ {
+		sp := eq.Y[i]
+		if sp <= 0 {
+			return 0, fmt.Errorf("core: equilibrium S+_%d = %g not positive", i, sp)
+		}
+		d := y[i] - sp
+		sum += m.varphi[i] * d * d / sp
+	}
+	v := sum/(2*m.meanK) + theta - eq.Theta - eq.Theta*math.Log(theta/eq.Theta)
+	return v, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Jacobian returns the 2n×2n Jacobian matrix of the (S, I) subsystem
+// (System (2)) at the packed state y, in the same [S..., I...] block order.
+// Entry [r][c] is ∂(dy_r/dt)/∂y_c:
+//
+//	∂Ṡ_i/∂S_j = δ_ij (−λ_i Θ − ε1)
+//	∂Ṡ_i/∂I_j = −λ_i S_i φ_j/⟨k⟩
+//	∂İ_i/∂S_j = δ_ij λ_i Θ
+//	∂İ_i/∂I_j = λ_i S_i φ_j/⟨k⟩ − δ_ij ε2
+//
+// This is the object the paper linearizes for Theorem 2. The matrix is
+// dense; at Digg scale (n = 848) it holds ~23 MB, so reserve it for
+// analysis rather than hot loops.
+func (m *Model) Jacobian(y []float64) [][]float64 {
+	n := m.n
+	theta := m.Theta(y)
+	e1, e2 := m.p.Eps1, m.p.Eps2
+	jac := make([][]float64, 2*n)
+	for r := range jac {
+		jac[r] = make([]float64, 2*n)
+	}
+	for i := 0; i < n; i++ {
+		li := m.lambda[i]
+		si := y[i]
+		jac[i][i] = -li*theta - e1
+		jac[n+i][i] = li * theta
+		for j := 0; j < n; j++ {
+			coef := li * si * m.varphi[j] / m.meanK
+			jac[i][n+j] -= coef
+			jac[n+i][n+j] += coef
+		}
+		jac[n+i][n+i] -= e2
+	}
+	return jac
+}
+
+// StabilityReport is the Theorem 2 local analysis at the zero equilibrium.
+type StabilityReport struct {
+	// Gamma is Γ = (1/⟨k⟩) Σ λ(k_i) φ(k_i) S0 with S0 = α/ε1.
+	Gamma float64
+	// Eigenvalues holds the distinct analytic eigenvalues of J(E0):
+	// −ε1 (multiplicity n), −ε2 (multiplicity n−1) and Γ − ε2.
+	Eigenvalues [3]float64
+	// LeadEigenvalue is the largest eigenvalue, whose sign decides local
+	// stability: Γ − ε2 = ε2(r0 − 1) when S0 = α/ε1 < ... (see below).
+	LeadEigenvalue float64
+	// Stable reports whether every eigenvalue is negative (E0 locally
+	// asymptotically stable — Theorem 2's r0 < 1 case).
+	Stable bool
+}
+
+// StabilityE0 computes the closed-form Theorem 2 analysis: at E0 the
+// Jacobian is block upper-triangular with a rank-one perturbation of −ε2 I
+// in the infected block, so its spectrum is exactly
+//
+//	{−ε1 (×n), −ε2 (×(n−1)), Γ − ε2},
+//
+// and E0 is locally asymptotically stable iff Γ < ε2, i.e. r0 < 1.
+func (m *Model) StabilityE0() StabilityReport {
+	s0 := m.p.Alpha / m.p.Eps1
+	gamma := m.sumLV * s0 / m.meanK
+	lead := gamma - m.p.Eps2
+	if -m.p.Eps1 > lead {
+		lead = -m.p.Eps1
+	}
+	return StabilityReport{
+		Gamma:          gamma,
+		Eigenvalues:    [3]float64{-m.p.Eps1, -m.p.Eps2, gamma - m.p.Eps2},
+		LeadEigenvalue: lead,
+		Stable:         gamma-m.p.Eps2 < 0, // −ε1, −ε2 < 0 always
+	}
+}
+
+// ErrPowerIteration is returned when the dominant-eigenvalue iteration does
+// not converge.
+var ErrPowerIteration = errors.New("core: power iteration did not converge")
+
+// DominantRealEigenvalue numerically estimates the largest real part among
+// the eigenvalues of the Jacobian at y, using shifted power iteration:
+// because the spectrum of this system at its equilibria is real (the
+// infected block is a rank-one update of a scaled identity and the
+// susceptible block is diagonal), iterating on J + σI with a positive shift
+// σ large enough to make all shifted eigenvalues positive converges to
+// σ + max Re λ. It cross-checks the closed-form Theorem 2 spectrum and
+// extends the analysis to states other than E0.
+func (m *Model) DominantRealEigenvalue(y []float64) (float64, error) {
+	jac := m.Jacobian(y)
+	dim := len(jac)
+
+	// A provably sufficient shift: Gershgorin bound on |λ|.
+	var bound float64
+	for r := 0; r < dim; r++ {
+		var row float64
+		for c := 0; c < dim; c++ {
+			row += math.Abs(jac[r][c])
+		}
+		if row > bound {
+			bound = row
+		}
+	}
+	shift := bound + 1
+	for r := 0; r < dim; r++ {
+		jac[r][r] += shift
+	}
+
+	// Power iteration with Rayleigh-quotient convergence check.
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(dim))
+	}
+	w := make([]float64, dim)
+	var prev float64 = math.Inf(1)
+	for iter := 0; iter < 10000; iter++ {
+		matVec(jac, v, w)
+		// Rayleigh quotient (v normalized).
+		var rq float64
+		for i := range v {
+			rq += v[i] * w[i]
+		}
+		norm := 0.0
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return -shift, nil // nilpotent: all eigenvalues at −shift
+		}
+		for i := range w {
+			v[i] = w[i] / norm
+		}
+		if math.Abs(rq-prev) <= 1e-12*(1+math.Abs(rq)) {
+			return rq - shift, nil
+		}
+		prev = rq
+	}
+	return 0, fmt.Errorf("%w after 10000 iterations", ErrPowerIteration)
+}
+
+func matVec(a [][]float64, x, dst []float64) {
+	for r := range a {
+		var sum float64
+		row := a[r]
+		for c, v := range x {
+			sum += row[c] * v
+		}
+		dst[r] = sum
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumornet/internal/degreedist"
+)
+
+func TestJacobianHandComputed(t *testing.T) {
+	// Two groups, fully hand-checkable.
+	d, err := degreedist.Uniform([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		alpha = 0.01
+		e1    = 0.1
+		e2    = 0.2
+	)
+	m, err := NewModel(d, Params{
+		Alpha:  alpha,
+		Eps1:   e1,
+		Eps2:   e2,
+		Lambda: degreedist.LambdaLinear(0.1), // λ = {0.2, 0.4}
+		Omega:  degreedist.OmegaLinear(),     // φ = {1, 2}, ⟨k⟩ = 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{0.9, 0.8, 0.1, 0.2}
+	theta := m.Theta(y) // 0.5/3
+
+	jac := m.Jacobian(y)
+	// ∂Ṡ_0/∂S_0 = −λ_0 Θ − ε1.
+	if want := -0.2*theta - e1; math.Abs(jac[0][0]-want) > 1e-15 {
+		t.Errorf("J[0][0] = %v, want %v", jac[0][0], want)
+	}
+	// ∂Ṡ_0/∂S_1 = 0 (no direct S–S coupling).
+	if jac[0][1] != 0 {
+		t.Errorf("J[0][1] = %v, want 0", jac[0][1])
+	}
+	// ∂Ṡ_0/∂I_1 = −λ_0 S_0 φ_1/⟨k⟩ = −0.2·0.9·2/3.
+	if want := -0.2 * 0.9 * 2 / 3; math.Abs(jac[0][3]-want) > 1e-15 {
+		t.Errorf("J[0][3] = %v, want %v", jac[0][3], want)
+	}
+	// ∂İ_1/∂S_1 = λ_1 Θ.
+	if want := 0.4 * theta; math.Abs(jac[3][1]-want) > 1e-15 {
+		t.Errorf("J[3][1] = %v, want %v", jac[3][1], want)
+	}
+	// ∂İ_1/∂I_1 = λ_1 S_1 φ_1/⟨k⟩ − ε2.
+	if want := 0.4*0.8*2/3 - e2; math.Abs(jac[3][3]-want) > 1e-15 {
+		t.Errorf("J[3][3] = %v, want %v", jac[3][3], want)
+	}
+}
+
+// TestJacobianMatchesFiniteDifferences validates every entry against a
+// central finite difference of the RHS.
+func TestJacobianMatchesFiniteDifferences(t *testing.T) {
+	m := epidemicModel(t)
+	ic, err := m.UniformIC(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac := m.Jacobian(ic)
+	dim := m.StateDim()
+	const h = 1e-6
+	fPlus := make([]float64, dim)
+	fMinus := make([]float64, dim)
+	yPert := make([]float64, dim)
+	for c := 0; c < dim; c++ {
+		copy(yPert, ic)
+		yPert[c] += h
+		m.RHS(0, yPert, fPlus)
+		yPert[c] -= 2 * h
+		m.RHS(0, yPert, fMinus)
+		for r := 0; r < dim; r++ {
+			fd := (fPlus[r] - fMinus[r]) / (2 * h)
+			if math.Abs(jac[r][c]-fd) > 1e-6*(1+math.Abs(fd)) {
+				t.Fatalf("J[%d][%d] = %v, finite difference %v", r, c, jac[r][c], fd)
+			}
+		}
+	}
+}
+
+func TestStabilityE0Theorem2(t *testing.T) {
+	// r0 < 1: stable; the lead eigenvalue is Γ − ε2 = ε2(r0 − 1) < 0.
+	ext := extinctModel(t)
+	rep := ext.StabilityE0()
+	if !rep.Stable {
+		t.Error("subcritical E0 reported unstable")
+	}
+	wantLead := ext.Params().Eps2 * (ext.R0() - 1)
+	if math.Abs(rep.Eigenvalues[2]-wantLead) > 1e-12 {
+		t.Errorf("Γ − ε2 = %v, want ε2(r0−1) = %v", rep.Eigenvalues[2], wantLead)
+	}
+	if rep.Eigenvalues[0] != -ext.Params().Eps1 || rep.Eigenvalues[1] != -ext.Params().Eps2 {
+		t.Errorf("trivial eigenvalues wrong: %v", rep.Eigenvalues)
+	}
+
+	// r0 > 1: unstable with positive lead eigenvalue.
+	epi := epidemicModel(t)
+	rep = epi.StabilityE0()
+	if rep.Stable {
+		t.Error("supercritical E0 reported stable")
+	}
+	if rep.LeadEigenvalue <= 0 {
+		t.Errorf("lead eigenvalue = %v, want > 0", rep.LeadEigenvalue)
+	}
+}
+
+// TestDominantEigenvalueMatchesClosedForm cross-checks the numeric power
+// iteration against the Theorem 2 closed-form spectrum at E0.
+func TestDominantEigenvalueMatchesClosedForm(t *testing.T) {
+	for _, m := range []*Model{extinctModel(t), epidemicModel(t)} {
+		rep := m.StabilityE0()
+		got, err := m.DominantRealEigenvalue(m.ZeroEquilibrium().Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-rep.LeadEigenvalue) > 1e-6*(1+math.Abs(rep.LeadEigenvalue)) {
+			t.Errorf("numeric lead eigenvalue %v, closed form %v", got, rep.LeadEigenvalue)
+		}
+	}
+}
+
+// TestDominantEigenvalueNegativeAtEPlus: the positive equilibrium of a
+// supercritical system is locally stable, so the lead eigenvalue of the
+// Jacobian there must be negative.
+func TestDominantEigenvalueNegativeAtEPlus(t *testing.T) {
+	m := epidemicModel(t)
+	ep, err := m.PositiveEquilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead, err := m.DominantRealEigenvalue(ep.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lead >= 0 {
+		t.Errorf("lead eigenvalue at E+ = %v, want < 0 (Theorem 4)", lead)
+	}
+}
+
+// Property: the Theorem 2 verdict (sign of Γ − ε2) agrees with the r0
+// threshold across random calibrations.
+func TestQuickStabilityMatchesThreshold(t *testing.T) {
+	d := testDist(t)
+	f := func(raw uint16) bool {
+		target := 0.1 + float64(raw)/65535*3.0 // r0 ∈ [0.1, 3.1]
+		m, err := CalibratedModel(d, 0.01, 0.1, 0.05, target, degreedist.OmegaSaturating(0.5, 0.5))
+		if err != nil {
+			return false
+		}
+		rep := m.StabilityE0()
+		return rep.Stable == (m.R0() < 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkJacobianDiggScale(b *testing.B) {
+	d, err := degreedist.TruncatedPowerLaw(1.5, 1, 995)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := CalibratedModel(d, 0.01, 0.2, 0.05, 0.722, degreedist.OmegaSaturating(0.5, 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Jacobian(ic)
+	}
+}

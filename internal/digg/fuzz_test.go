@@ -1,0 +1,43 @@
+package digg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadFriendsCSV checks the friendship parser never panics and accepted
+// inputs produce in-range graphs.
+func FuzzLoadFriendsCSV(f *testing.F) {
+	f.Add("mutual,friend_date,user_id,friend_id\n1,100,1,2\n")
+	f.Add("0,1,2,3\n")
+	f.Add("x,y\n")
+	f.Add("1,1,-2,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, ids, err := LoadFriendsCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.NumNodes() != len(ids) {
+			t.Fatalf("nodes %d != ids %d", g.NumNodes(), len(ids))
+		}
+	})
+}
+
+// FuzzLoadVotesCSV checks the vote parser never panics and output stays
+// time-sorted.
+func FuzzLoadVotesCSV(f *testing.F) {
+	f.Add("vote_date,voter_id,story_id\n100,1,2\n50,3,4\n")
+	f.Add("1,2\n")
+	f.Add("#c\n5,6,7\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		votes, err := LoadVotesCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(votes); i++ {
+			if votes[i].Time < votes[i-1].Time {
+				t.Fatalf("votes not sorted at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package digg
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rumornet/internal/graph"
+)
+
+// The Digg2009 release ships a second file, "digg_votes1.csv", with one
+// record per vote: vote_date, voter_id, story_id. The paper simulates on
+// parameters derived from the friendship graph alone, but the vote traces
+// are what make the dataset famous — each story's early voters are a
+// natural, data-driven initial condition for a rumor cascade. This file
+// provides the loader, a per-story index, trace-driven seeding, and a
+// synthetic trace generator for users without the original dump.
+
+// Vote is a single story vote.
+type Vote struct {
+	// Time is the vote's unix timestamp (the dump's vote_date).
+	Time int64
+	// Voter is the raw user id.
+	Voter int64
+	// Story is the story id.
+	Story int64
+}
+
+// LoadVotesCSV parses the digg_votes format: comma-separated
+// vote_date, voter_id, story_id records, with an optional header row and
+// '#' comments. Votes are returned sorted by time.
+func LoadVotesCSV(r io.Reader) ([]Vote, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var votes []Vote
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("digg: votes line %d: want 3 fields, got %d", line, len(fields))
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("digg: votes line %d: bad timestamp: %w", line, err)
+		}
+		voter, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("digg: votes line %d: bad voter id: %w", line, err)
+		}
+		story, err := strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("digg: votes line %d: bad story id: %w", line, err)
+		}
+		votes = append(votes, Vote{Time: ts, Voter: voter, Story: story})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("digg: scan votes: %w", err)
+	}
+	sort.Slice(votes, func(i, j int) bool { return votes[i].Time < votes[j].Time })
+	return votes, nil
+}
+
+// StoryIndex groups votes by story, preserving time order within each.
+type StoryIndex map[int64][]Vote
+
+// IndexVotes builds a StoryIndex from a time-sorted vote list.
+func IndexVotes(votes []Vote) StoryIndex {
+	idx := make(StoryIndex)
+	for _, v := range votes {
+		idx[v.Story] = append(idx[v.Story], v)
+	}
+	return idx
+}
+
+// Stories returns the story ids sorted by descending vote count (ties by
+// id) — the dataset's "front page" ordering.
+func (idx StoryIndex) Stories() []int64 {
+	out := make([]int64, 0, len(idx))
+	for s := range idx {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := len(idx[out[i]]), len(idx[out[j]])
+		if ni != nj {
+			return ni > nj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ErrUnknownStory is returned when seeding from a story with no votes.
+var ErrUnknownStory = errors.New("digg: story has no votes")
+
+// SeedsFromStory returns the dense node ids of the first maxSeeds voters of
+// a story, mapping raw voter ids through ids (the slice returned by the
+// graph loaders; voters absent from the graph are skipped). The result is
+// the trace-driven infected set at the story's outbreak.
+func (idx StoryIndex) SeedsFromStory(story int64, maxSeeds int, ids []int64) ([]int, error) {
+	votes := idx[story]
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStory, story)
+	}
+	if maxSeeds < 1 {
+		return nil, fmt.Errorf("digg: maxSeeds = %d must be positive", maxSeeds)
+	}
+	dense := make(map[int64]int, len(ids))
+	for id, raw := range ids {
+		dense[raw] = id
+	}
+	seeds := make([]int, 0, maxSeeds)
+	seen := make(map[int]struct{}, maxSeeds)
+	for _, v := range votes {
+		node, ok := dense[v.Voter]
+		if !ok {
+			continue
+		}
+		if _, dup := seen[node]; dup {
+			continue
+		}
+		seen[node] = struct{}{}
+		seeds = append(seeds, node)
+		if len(seeds) == maxSeeds {
+			break
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("digg: no voters of story %d appear in the graph", story)
+	}
+	return seeds, nil
+}
+
+// SampleVotes synthesizes vote traces for nStories by running independent
+// cascades on g: each story starts at a random node at a random time and
+// spreads along out-edges with the given per-edge probability, voters
+// voting in breadth-first order at one-minute increments. The output is
+// time-sorted, matching LoadVotesCSV, with raw ids equal to dense ids.
+func SampleVotes(g *graph.Graph, nStories int, edgeProb float64, rng *rand.Rand) ([]Vote, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, errors.New("digg: SampleVotes needs a non-empty graph")
+	}
+	if nStories < 1 {
+		return nil, fmt.Errorf("digg: nStories = %d must be positive", nStories)
+	}
+	if edgeProb <= 0 || edgeProb > 1 {
+		return nil, fmt.Errorf("digg: edgeProb = %g outside (0, 1]", edgeProb)
+	}
+	if rng == nil {
+		return nil, errors.New("digg: SampleVotes needs a rand source")
+	}
+	var votes []Vote
+	visited := make(map[int]struct{})
+	for s := 0; s < nStories; s++ {
+		clear(visited)
+		start := rng.Int63n(1_000_000)
+		root := rng.Intn(g.NumNodes())
+		queue := []int{root}
+		visited[root] = struct{}{}
+		tick := int64(0)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			votes = append(votes, Vote{
+				Time:  start + tick*60,
+				Voter: int64(u),
+				Story: int64(s),
+			})
+			tick++
+			for _, v := range g.OutNeighbors(u) {
+				if _, ok := visited[v]; ok {
+					continue
+				}
+				if rng.Float64() < edgeProb {
+					visited[v] = struct{}{}
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	sort.Slice(votes, func(i, j int) bool { return votes[i].Time < votes[j].Time })
+	return votes, nil
+}

@@ -1,0 +1,250 @@
+package digg
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rumornet/internal/graph"
+)
+
+func TestLoadVotesCSV(t *testing.T) {
+	in := strings.Join([]string{
+		"vote_date,voter_id,story_id", // header
+		"300,10,1",
+		"100,20,1",
+		"# comment",
+		"200,30,2",
+		"",
+	}, "\n")
+	votes, err := LoadVotesCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(votes) != 3 {
+		t.Fatalf("len = %d, want 3", len(votes))
+	}
+	// Time-sorted output.
+	if votes[0].Time != 100 || votes[1].Time != 200 || votes[2].Time != 300 {
+		t.Errorf("votes not time-sorted: %+v", votes)
+	}
+	if votes[0].Voter != 20 || votes[0].Story != 1 {
+		t.Errorf("first vote = %+v", votes[0])
+	}
+}
+
+func TestLoadVotesCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2\n",          // too few fields
+		"h,h,h\nx,2,3\n", // bad timestamp past header
+		"100,x,3\n",      // bad voter
+		"100,2,x\n",      // bad story
+	}
+	for _, in := range cases {
+		if _, err := LoadVotesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadVotesCSV(%q): want error", in)
+		}
+	}
+}
+
+func TestStoryIndex(t *testing.T) {
+	votes := []Vote{
+		{Time: 1, Voter: 10, Story: 7},
+		{Time: 2, Voter: 11, Story: 7},
+		{Time: 3, Voter: 12, Story: 9},
+		{Time: 4, Voter: 13, Story: 7},
+	}
+	idx := IndexVotes(votes)
+	if len(idx[7]) != 3 || len(idx[9]) != 1 {
+		t.Fatalf("index sizes wrong: %v", idx)
+	}
+	stories := idx.Stories()
+	if len(stories) != 2 || stories[0] != 7 {
+		t.Errorf("Stories() = %v, want [7 9] (by vote count)", stories)
+	}
+}
+
+func TestSeedsFromStory(t *testing.T) {
+	votes := []Vote{
+		{Time: 1, Voter: 100, Story: 1},
+		{Time: 2, Voter: 200, Story: 1},
+		{Time: 3, Voter: 100, Story: 1}, // duplicate voter
+		{Time: 4, Voter: 999, Story: 1}, // not in the graph
+		{Time: 5, Voter: 300, Story: 1},
+	}
+	idx := IndexVotes(votes)
+	ids := []int64{100, 200, 300} // dense ids 0, 1, 2
+	seeds, err := idx.SeedsFromStory(1, 10, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	if len(seeds) != 3 {
+		t.Fatalf("seeds = %v, want %v", seeds, want)
+	}
+	for i, s := range seeds {
+		if s != want[i] {
+			t.Errorf("seeds[%d] = %d, want %d (time order, deduped)", i, s, want[i])
+		}
+	}
+	// maxSeeds truncation.
+	two, err := idx.SeedsFromStory(1, 2, ids)
+	if err != nil || len(two) != 2 {
+		t.Errorf("maxSeeds=2: %v, %v", two, err)
+	}
+	// Errors.
+	if _, err := idx.SeedsFromStory(42, 5, ids); !errors.Is(err, ErrUnknownStory) {
+		t.Errorf("unknown story error = %v", err)
+	}
+	if _, err := idx.SeedsFromStory(1, 0, ids); err == nil {
+		t.Error("maxSeeds=0: want error")
+	}
+	if _, err := idx.SeedsFromStory(1, 5, []int64{555}); err == nil {
+		t.Error("no voters in graph: want error")
+	}
+}
+
+func TestSampleVotes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g, err := graph.ErdosRenyi(500, 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes, err := SampleVotes(g, 5, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(votes) < 5 {
+		t.Fatalf("only %d votes from 5 stories", len(votes))
+	}
+	// Time-sorted, valid ids, all five stories present.
+	stories := make(map[int64]bool)
+	for i, v := range votes {
+		if i > 0 && v.Time < votes[i-1].Time {
+			t.Fatalf("votes not sorted at %d", i)
+		}
+		if v.Voter < 0 || v.Voter >= int64(g.NumNodes()) {
+			t.Fatalf("voter %d out of range", v.Voter)
+		}
+		stories[v.Story] = true
+	}
+	if len(stories) != 5 {
+		t.Errorf("stories = %d, want 5", len(stories))
+	}
+	// Within a story, voters are unique.
+	idx := IndexVotes(votes)
+	for s, svotes := range idx {
+		seen := make(map[int64]bool)
+		for _, v := range svotes {
+			if seen[v.Voter] {
+				t.Fatalf("story %d: duplicate voter %d", s, v.Voter)
+			}
+			seen[v.Voter] = true
+		}
+	}
+}
+
+func TestSampleVotesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.ErdosRenyi(10, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SampleVotes(nil, 1, 0.5, rng); err == nil {
+		t.Error("nil graph: want error")
+	}
+	if _, err := SampleVotes(g, 0, 0.5, rng); err == nil {
+		t.Error("zero stories: want error")
+	}
+	if _, err := SampleVotes(g, 1, 0, rng); err == nil {
+		t.Error("zero edge prob: want error")
+	}
+	if _, err := SampleVotes(g, 1, 1.5, rng); err == nil {
+		t.Error("edge prob > 1: want error")
+	}
+	if _, err := SampleVotes(g, 1, 0.5, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+}
+
+// TestVotesEndToEnd: synthesize traces, round-trip them through the CSV
+// format, and seed a cascade from the biggest story.
+func TestVotesEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, err := graph.ErdosRenyi(300, 2400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes, err := SampleVotes(g, 3, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize in the dump's format and reload.
+	var b strings.Builder
+	b.WriteString("vote_date,voter_id,story_id\n")
+	for _, v := range votes {
+		b.WriteString(strings.Join([]string{
+			strconv.FormatInt(v.Time, 10),
+			strconv.FormatInt(v.Voter, 10),
+			strconv.FormatInt(v.Story, 10),
+		}, ","))
+		b.WriteByte('\n')
+	}
+	reloaded, err := LoadVotesCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded) != len(votes) {
+		t.Fatalf("round trip lost votes: %d vs %d", len(reloaded), len(votes))
+	}
+	idx := IndexVotes(reloaded)
+	top := idx.Stories()[0]
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i) // SampleVotes uses dense ids directly
+	}
+	seeds, err := idx.SeedsFromStory(top, 10, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 || len(seeds) > 10 {
+		t.Errorf("seeds = %v", seeds)
+	}
+}
+
+// Property: SeedsFromStory never returns duplicates and respects maxSeeds.
+func TestQuickSeedsUnique(t *testing.T) {
+	f := func(raw []uint8, maxRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		votes := make([]Vote, len(raw))
+		ids := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+		for i, r := range raw {
+			votes[i] = Vote{Time: int64(i), Voter: int64(r % 8), Story: 1}
+		}
+		idx := IndexVotes(votes)
+		maxSeeds := int(maxRaw%8) + 1
+		seeds, err := idx.SeedsFromStory(1, maxSeeds, ids)
+		if err != nil {
+			return false
+		}
+		if len(seeds) > maxSeeds {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, s := range seeds {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) plus this repository's own ablations and
+// validations. Each experiment is a pure function from a Config to a
+// Result; cmd/figgen renders Results as ASCII charts and CSV files, and the
+// repository-level benchmarks time them.
+//
+// The per-experiment index lives in DESIGN.md; measured-vs-paper notes in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rumornet/internal/core"
+	"rumornet/internal/degreedist"
+	"rumornet/internal/digg"
+	"rumornet/internal/plot"
+)
+
+// Config controls experiment fidelity.
+type Config struct {
+	// Seed drives every random choice; experiments are deterministic given
+	// a seed. The zero value selects seed 1.
+	Seed int64
+	// Quick trades fidelity for speed (fewer groups, coarser grids,
+	// fewer repetitions) — used by unit tests and quick benchmark runs.
+	Quick bool
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig2a").
+	ID string
+	// Title describes the regenerated artifact.
+	Title string
+	// Series holds the plotted data.
+	Series []plot.Series
+	// Scalars holds named headline numbers (thresholds, costs, counts).
+	Scalars map[string]float64
+	// Notes records calibration values and paper-comparison remarks.
+	Notes []string
+}
+
+func (r *Result) addNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) setScalar(name string, v float64) {
+	if r.Scalars == nil {
+		r.Scalars = make(map[string]float64)
+	}
+	r.Scalars[name] = v
+}
+
+// Func runs one experiment.
+type Func func(Config) (*Result, error)
+
+// registry maps experiment ids to implementations. It is populated in this
+// file only (no init() sprawl) so the set is easy to audit.
+func registry() map[string]Func {
+	return map[string]Func{
+		"tabD":   TabDatasetSummary,
+		"fig2a":  Fig2aDistToE0,
+		"fig2b":  Fig2bSusceptible,
+		"fig2c":  Fig2cInfected,
+		"fig2d":  Fig2dRecovered,
+		"fig3a":  Fig3aDistToEPlus,
+		"fig3b":  Fig3bSusceptible,
+		"fig3c":  Fig3cInfected,
+		"fig3d":  Fig3dRecovered,
+		"fig4a":  Fig4aOptimalControls,
+		"fig4b":  Fig4bThresholdEvolution,
+		"fig4c":  Fig4cCostComparison,
+		"ablA":   AblationAdjoint,
+		"ablC":   AblationInstruments,
+		"ablT":   AblationTargeting,
+		"ablW":   AblationInfectivity,
+		"ablH":   AblationHomogeneous,
+		"valABM": ValidationABM,
+		"valDK":  ValidationDK,
+		"extS":   ExtensionSpatialFront,
+		"extV":   ExtensionTraceIC,
+	}
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	reg := registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Result, error) {
+	f, ok := registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	res, err := f(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return res, nil
+}
+
+// diggDist builds the synthetic Digg2009 degree distribution (truncated in
+// Quick mode to keep tests fast).
+func diggDist(cfg Config) (*degreedist.Dist, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	d, err := digg.Dist(rng)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Quick {
+		return d.Truncate(40)
+	}
+	return d, nil
+}
+
+// Paper parameter sets (Section V).
+const (
+	fig2Alpha = 0.01
+	fig2Eps1  = 0.2
+	fig2Eps2  = 0.05
+	fig2R0    = 0.7220
+	fig2Tf    = 150.0
+
+	// The paper prints α = 0.002, ε1 = 0.002, ε2 = 0.0001 for Fig. 3, but
+	// those rates give an unphysical positive equilibrium (I+ ≈ 17 ≫ 1)
+	// and a relaxation timescale of 1/ε2 = 10^4, i.e. no convergence within
+	// the plotted t ∈ (0, 300]. The rescaled regime below keeps the printed
+	// threshold r0 = 2.1661 and reproduces the figure's equilibrium levels
+	// (S+ ≈ 0.05–0.20, I+ ≈ 0.1–0.45) and its convergence-by-t≈300 shape.
+	// See DESIGN.md (substitution table) and EXPERIMENTS.md.
+	fig3Alpha = 0.01
+	fig3Eps1  = 0.05
+	fig3Eps2  = 0.02
+	fig3R0    = 2.1661
+	fig3Tf    = 300.0
+
+	fig4C1      = 5.0
+	fig4C2      = 10.0
+	fig4Tf      = 100.0
+	fig4EpsMax  = 0.8
+	fig4TargetI = 1e-4
+)
+
+// paperOmega is the evaluation's infectivity ω(k) = k^0.5/(1 + k^0.5).
+func paperOmega() degreedist.KFunc { return degreedist.OmegaSaturating(0.5, 0.5) }
+
+// fig2Model builds the calibrated extinction-regime model (r0 = 0.7220).
+func fig2Model(cfg Config) (*core.Model, error) {
+	d, err := diggDist(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.CalibratedModel(d, fig2Alpha, fig2Eps1, fig2Eps2, fig2R0, paperOmega())
+}
+
+// fig3Model builds the calibrated epidemic-regime model (r0 = 2.1661).
+func fig3Model(cfg Config) (*core.Model, error) {
+	d, err := diggDist(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.CalibratedModel(d, fig3Alpha, fig3Eps1, fig3Eps2, fig3R0, paperOmega())
+}
+
+// groupPicks returns up to want indices spread across the n groups,
+// mirroring the paper's "i = 1, 50, 100, ..., 800" selection.
+func groupPicks(n, want int) []int {
+	if want >= n {
+		picks := make([]int, n)
+		for i := range picks {
+			picks[i] = i
+		}
+		return picks
+	}
+	picks := make([]int, 0, want)
+	step := float64(n-1) / float64(want-1)
+	for j := 0; j < want; j++ {
+		picks = append(picks, int(float64(j)*step))
+	}
+	return picks
+}

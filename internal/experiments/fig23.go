@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rumornet/internal/core"
+	"rumornet/internal/plot"
+)
+
+// trajKind selects which compartment a trajectory figure plots.
+type trajKind int
+
+const (
+	trajS trajKind = iota + 1
+	trajI
+	trajR
+)
+
+// Fig2aDistToE0 regenerates Fig. 2(a): the ∞-norm distance between the
+// trajectory E(t) and the zero equilibrium E0 for 10 random initial
+// conditions, in the extinction regime r0 = 0.7220 < 1. All ten curves must
+// converge to zero (Theorem 3: E0 globally asymptotically stable).
+func Fig2aDistToE0(cfg Config) (*Result, error) {
+	m, err := fig2Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return distFigure(cfg, m, "fig2a",
+		"Fig. 2(a): Dist0(t) under 10 initial conditions (r0 = 0.7220 < 1)",
+		fig2Tf, false)
+}
+
+// Fig2bSusceptible regenerates Fig. 2(b): S_{k_i}(t) for groups spread
+// across the distribution (the paper's i = 1, 50, ..., 800).
+func Fig2bSusceptible(cfg Config) (*Result, error) {
+	m, err := fig2Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trajFigure(cfg, m, "fig2b", "Fig. 2(b): S_ki(t), extinction regime", fig2Tf, trajS, 17)
+}
+
+// Fig2cInfected regenerates Fig. 2(c): I_{k_i}(t) in the extinction regime.
+func Fig2cInfected(cfg Config) (*Result, error) {
+	m, err := fig2Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trajFigure(cfg, m, "fig2c", "Fig. 2(c): I_ki(t), extinction regime", fig2Tf, trajI, 17)
+}
+
+// Fig2dRecovered regenerates Fig. 2(d): R_{k_i}(t) in the extinction regime.
+func Fig2dRecovered(cfg Config) (*Result, error) {
+	m, err := fig2Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trajFigure(cfg, m, "fig2d", "Fig. 2(d): R_ki(t), extinction regime", fig2Tf, trajR, 17)
+}
+
+// Fig3aDistToEPlus regenerates Fig. 3(a): the distance between E(t) and the
+// positive equilibrium E+ for 10 random initial conditions, in the epidemic
+// regime r0 = 2.1661 > 1 (Theorem 4: E+ globally asymptotically stable).
+func Fig3aDistToEPlus(cfg Config) (*Result, error) {
+	m, err := fig3Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return distFigure(cfg, m, "fig3a",
+		"Fig. 3(a): Dist+(t) under 10 initial conditions (r0 = 2.1661 > 1)",
+		fig3Tf, true)
+}
+
+// Fig3bSusceptible regenerates Fig. 3(b): S_{k_i}(t) for the 20
+// lowest-degree groups in the epidemic regime.
+func Fig3bSusceptible(cfg Config) (*Result, error) {
+	m, err := fig3Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trajFigure(cfg, m, "fig3b", "Fig. 3(b): S_ki(t), epidemic regime", fig3Tf, trajS, 20)
+}
+
+// Fig3cInfected regenerates Fig. 3(c): I_{k_i}(t) in the epidemic regime.
+func Fig3cInfected(cfg Config) (*Result, error) {
+	m, err := fig3Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trajFigure(cfg, m, "fig3c", "Fig. 3(c): I_ki(t), epidemic regime", fig3Tf, trajI, 20)
+}
+
+// Fig3dRecovered regenerates Fig. 3(d): R_{k_i}(t) in the epidemic regime.
+func Fig3dRecovered(cfg Config) (*Result, error) {
+	m, err := fig3Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trajFigure(cfg, m, "fig3d", "Fig. 3(d): R_ki(t), epidemic regime", fig3Tf, trajR, 20)
+}
+
+// distFigure runs the 10-initial-conditions convergence experiment against
+// E0 (plus=false) or E+ (plus=true).
+func distFigure(cfg Config, m *core.Model, id, title string, tf float64, plus bool) (*Result, error) {
+	res := &Result{ID: id, Title: title}
+	res.setScalar("r0", m.R0())
+	res.addNote("calibrated λ(k) = %.6g·k pins r0 = %.4f on the synthetic Digg distribution",
+		m.Lambda(0)/float64(m.Dist().Degree(0)), m.R0())
+
+	var eq *core.Equilibrium
+	if plus {
+		var err error
+		eq, err = m.PositiveEquilibrium()
+		if err != nil {
+			return nil, err
+		}
+		res.setScalar("thetaPlus", eq.Theta)
+	} else {
+		eq = m.ZeroEquilibrium()
+	}
+
+	runs := 10
+	if cfg.Quick {
+		runs = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	var worstFinal float64
+	for trial := 0; trial < runs; trial++ {
+		ic, err := m.RandomIC(0.5, rng)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := m.Simulate(ic, tf, simOpts(cfg, tf))
+		if err != nil {
+			return nil, err
+		}
+		dist := tr.DistTo(eq)
+		res.Series = append(res.Series, plot.Series{
+			Name: fmt.Sprintf("IC %d", trial+1),
+			X:    tr.T,
+			Y:    dist,
+		})
+		if f := dist[len(dist)-1]; f > worstFinal {
+			worstFinal = f
+		}
+	}
+	res.setScalar("worstFinalDist", worstFinal)
+	res.addNote("worst final distance across %d initial conditions: %.3g (paper: all curves → 0)",
+		runs, worstFinal)
+	return res, nil
+}
+
+// trajFigure plots one compartment for a spread of degree groups under a
+// single random initial condition.
+func trajFigure(cfg Config, m *core.Model, id, title string, tf float64, kind trajKind, nGroups int) (*Result, error) {
+	res := &Result{ID: id, Title: title}
+	res.setScalar("r0", m.R0())
+
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	ic, err := m.RandomIC(0.5, rng)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := m.Simulate(ic, tf, simOpts(cfg, tf))
+	if err != nil {
+		return nil, err
+	}
+	picks := groupPicks(m.N(), nGroups)
+	for _, i := range picks {
+		var y []float64
+		switch kind {
+		case trajS:
+			y = tr.SSeries(i)
+		case trajI:
+			y = tr.ISeries(i)
+		default:
+			y = tr.RSeries(i)
+		}
+		res.Series = append(res.Series, plot.Series{
+			Name: fmt.Sprintf("k=%d", m.Dist().Degree(i)),
+			X:    tr.T,
+			Y:    y,
+		})
+	}
+	res.addNote("plotted %d of %d degree groups under one random initial condition", len(picks), m.N())
+	return res, nil
+}
+
+// simOpts picks simulation resolution by fidelity.
+func simOpts(cfg Config, tf float64) *core.SimOptions {
+	if cfg.Quick {
+		return &core.SimOptions{Step: tf / 600}
+	}
+	return &core.SimOptions{Step: tf / 3000}
+}

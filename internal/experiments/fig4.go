@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rumornet/internal/control"
+	"rumornet/internal/core"
+	"rumornet/internal/plot"
+)
+
+// fig4IC is the initial infected density for the control experiments.
+const fig4IC = 0.1
+
+func fig4Options(cfg Config) control.Options {
+	opts := control.Options{
+		Grid:    1000,
+		Eps1Max: fig4EpsMax,
+		Eps2Max: fig4EpsMax,
+		Cost:    control.Cost{C1: fig4C1, C2: fig4C2},
+	}
+	if cfg.Quick {
+		opts.Grid = 250
+	}
+	// The fig4 regime needs ~70-90 sweeps to converge; leave headroom.
+	opts.MaxIter = 250
+	return opts
+}
+
+// fig4Policy computes the optimized countermeasure policy over (0, tf] in
+// the epidemic regime (the paper's "keeping the other parameters
+// unchanged" base is Fig. 3's).
+func fig4Policy(cfg Config, tf float64) (*core.Model, *control.Policy, error) {
+	m, err := fig3Model(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ic, err := m.UniformIC(fig4IC)
+	if err != nil {
+		return nil, nil, err
+	}
+	pol, err := control.Optimize(m, ic, tf, fig4Options(cfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, pol, nil
+}
+
+// Fig4aOptimalControls regenerates Fig. 4(a): the optimized ε1(t), ε2(t)
+// over (0, 100] with c1 = 5, c2 = 10. The paper's qualitative shape:
+// spreading truth dominates early (ε1 > ε2), blocking dominates near the
+// deadline (ε1 < ε2).
+func Fig4aOptimalControls(cfg Config) (*Result, error) {
+	m, pol, err := fig4Policy(cfg, fig4Tf)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "fig4a",
+		Title: "Fig. 4(a): optimized countermeasures ε1(t), ε2(t) (c1=5, c2=10)",
+	}
+	res.Series = append(res.Series,
+		plot.Series{Name: "ε1 (spread truth)", X: pol.Schedule.T, Y: pol.Schedule.Eps1},
+		plot.Series{Name: "ε2 (block rumors)", X: pol.Schedule.T, Y: pol.Schedule.Eps2},
+	)
+	res.setScalar("r0", m.R0())
+	res.setScalar("J", pol.Cost.Total)
+	res.setScalar("terminalI", pol.Cost.Terminal)
+	res.setScalar("iterations", float64(pol.Iterations))
+	if pol.Converged {
+		res.setScalar("converged", 1)
+	} else {
+		res.setScalar("converged", 0)
+	}
+
+	// Quantify the crossover the paper highlights.
+	early, late := dominanceSplit(pol)
+	res.setScalar("eps1DominantEarlyFrac", early)
+	res.setScalar("eps2DominantLateFrac", late)
+	res.addNote("FBSM converged=%v after %d sweeps; J = %.4g (terminal %.3g + running %.4g)",
+		pol.Converged, pol.Iterations, pol.Cost.Total, pol.Cost.Terminal, pol.Cost.Running)
+	res.addNote("paper shape: ε1 > ε2 early, ε1 < ε2 late — measured: "+
+		"ε1 dominates %.0f%% of the first half, ε2 dominates %.0f%% of the last fifth",
+		100*early, 100*late)
+	return res, nil
+}
+
+// dominanceSplit measures how often ε1 > ε2 in the first half of the
+// horizon and how often ε2 > ε1 in the final fifth.
+func dominanceSplit(pol *control.Policy) (eps1Early, eps2Late float64) {
+	n := len(pol.Schedule.T)
+	half := n / 2
+	var e1dom int
+	for j := 0; j < half; j++ {
+		if pol.Schedule.Eps1[j] > pol.Schedule.Eps2[j] {
+			e1dom++
+		}
+	}
+	lastFifth := n - n/5
+	var e2dom int
+	for j := lastFifth; j < n; j++ {
+		if pol.Schedule.Eps2[j] > pol.Schedule.Eps1[j] {
+			e2dom++
+		}
+	}
+	return float64(e1dom) / float64(half), float64(e2dom) / float64(n-lastFifth)
+}
+
+// Fig4bThresholdEvolution regenerates Fig. 4(b): the threshold under the
+// optimized countermeasures decreasing with time and crossing 1. Following
+// Theorem 2's stability indicator we plot the effective reproduction number
+// r_eff(t) = Γ(t)/ε2(t), which reflects the shrinking susceptible pool;
+// the nominal r0(ε1(t), ε2(t)) is exported alongside (it diverges where the
+// optimizer shuts ε1 off, an artifact the paper's figure does not show —
+// see EXPERIMENTS.md).
+func Fig4bThresholdEvolution(cfg Config) (*Result, error) {
+	m, pol, err := fig4Policy(cfg, fig4Tf)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "fig4b",
+		Title: "Fig. 4(b): threshold evolution under optimized countermeasures",
+	}
+	tr := pol.Trajectory
+	eff := make([]float64, tr.Len())
+	nominal := make([]float64, tr.Len())
+	crossT := -1.0 // last downward crossing: extinct for good afterwards
+	peak := 0.0
+	for j := range tr.T {
+		t := tr.T[j]
+		e1 := pol.Schedule.Eps1At(t)
+		e2 := pol.Schedule.Eps2At(t)
+		eff[j] = m.EffectiveR0(tr.Y[j], e2)
+		nominal[j] = m.R0At(e1, e2)
+		if eff[j] > peak {
+			peak = eff[j]
+		}
+		if j > 0 && eff[j] <= 1 && eff[j-1] > 1 {
+			crossT = t
+		}
+	}
+	res.Series = append(res.Series,
+		plot.Series{Name: "r_eff(t) = Γ(t)/ε2(t)", X: tr.T, Y: eff},
+		plot.Series{Name: "nominal r0(ε1(t), ε2(t))", X: tr.T, Y: nominal},
+	)
+	res.setScalar("initialEff", eff[0])
+	res.setScalar("peakEff", peak)
+	res.setScalar("finalEff", eff[len(eff)-1])
+	res.setScalar("crossTime", crossT)
+	res.addNote("r_eff peaks at %.3g (the optimizer's opening blocking burst briefly "+
+		"suppresses it at t = 0), decays to %.3g, final crossing of 1 at t ≈ %.1f "+
+		"(paper: r0 > 1 early, < 1 late)", peak, eff[len(eff)-1], crossT)
+	return res, nil
+}
+
+// Fig4cCostComparison regenerates Fig. 4(c): the countermeasure cost of the
+// heuristic (feedback-only) policy vs the optimized policy when both must
+// drive the infected density below 10^-4 by tf, for tf = 10, 20, ..., 100.
+func Fig4cCostComparison(cfg Config) (*Result, error) {
+	m, err := fig3Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := m.UniformIC(fig4IC)
+	if err != nil {
+		return nil, err
+	}
+	opts := fig4Options(cfg)
+	cost := opts.Cost
+
+	tfs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if cfg.Quick {
+		tfs = []float64{20, 60, 100}
+	}
+
+	res := &Result{
+		ID:    "fig4c",
+		Title: "Fig. 4(c): cost of heuristic vs optimized countermeasures (I(tf) ≤ 1e-4)",
+	}
+	heurCosts := make([]float64, 0, len(tfs))
+	optCosts := make([]float64, 0, len(tfs))
+	wins := 0
+	for _, tf := range tfs {
+		heur, err := control.CalibrateHeuristic(m, ic, tf, fig4TargetI, opts.Grid, opts.Eps1Max, opts.Eps2Max, cost)
+		if err != nil {
+			return nil, fmt.Errorf("heuristic tf=%g: %w", tf, err)
+		}
+		opt, err := control.OptimizeToTarget(m, ic, tf, fig4TargetI, opts)
+		if err != nil {
+			return nil, fmt.Errorf("optimized tf=%g: %w", tf, err)
+		}
+		heurCosts = append(heurCosts, heur.Cost.Running)
+		optCosts = append(optCosts, opt.Cost.Running)
+		if opt.Cost.Running < heur.Cost.Running {
+			wins++
+		}
+	}
+	res.Series = append(res.Series,
+		plot.Series{Name: "heuristic countermeasures", X: tfs, Y: heurCosts},
+		plot.Series{Name: "optimized countermeasures", X: tfs, Y: optCosts},
+	)
+	res.setScalar("optimizedWins", float64(wins))
+	res.setScalar("horizons", float64(len(tfs)))
+	var ratio float64
+	for i := range tfs {
+		ratio += heurCosts[i] / optCosts[i]
+	}
+	ratio /= float64(len(tfs))
+	res.setScalar("meanCostRatio", ratio)
+	res.addNote("optimized policy cheaper on %d of %d horizons; mean heuristic/optimized "+
+		"cost ratio %.2f (paper: optimized consistently below heuristic)", wins, len(tfs), ratio)
+	return res, nil
+}

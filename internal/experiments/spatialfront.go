@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rumornet/internal/plot"
+	"rumornet/internal/spatial"
+)
+
+// ExtensionSpatialFront (extS) exercises the temporal–spatial extension:
+// a localized rumor outbreak in a 1-D reaction–diffusion medium develops a
+// traveling infection front whose speed approaches the Fisher–KPP value
+// 2√(D·(λS0 − ε2)) — the PDE behaviour the paper's related work (refs
+// [28], [29]) models. The figure shows infected-density profiles at
+// successive times plus the front position.
+func ExtensionSpatialFront(cfg Config) (*Result, error) {
+	patches := 201
+	tf := 60.0
+	if cfg.Quick {
+		patches = 101
+		tf = 30
+	}
+	m, err := spatial.New(spatial.Config{
+		Patches: patches,
+		Length:  float64(patches),
+		Alpha:   0,
+		Lambda:  1.0,
+		Eps1:    0,
+		Eps2:    0.2,
+		DS:      0,
+		DI:      0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ic, err := m.SeedCenter(1, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := m.Simulate(ic, tf, 0.05)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "extS",
+		Title: "Extension: traveling rumor front in a reaction–diffusion medium",
+	}
+	// Infected profiles at a few snapshot times.
+	for _, frac := range []float64{0.2, 0.5, 1.0} {
+		t := frac * tf
+		y := sol.At(t)
+		s := plot.Series{Name: fmt.Sprintf("I(x) at t=%.0f", t)}
+		for p := 0; p < m.Patches(); p++ {
+			s.X = append(s.X, m.Position(p))
+			s.Y = append(s.Y, y[m.Patches()+p])
+		}
+		res.Series = append(res.Series, s)
+	}
+
+	speed, err := m.MeasureFrontSpeed(sol, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	fisher := m.FisherSpeed(1)
+	res.setScalar("measuredFrontSpeed", speed)
+	res.setScalar("fisherSpeed", fisher)
+	res.setScalar("speedRatio", speed/fisher)
+	res.addNote("measured front speed %.3f vs Fisher–KPP prediction %.3f (ratio %.2f); "+
+		"pulled fronts on a lattice approach the continuum speed from below",
+		speed, fisher, speed/fisher)
+	return res, nil
+}

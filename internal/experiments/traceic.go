@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"rumornet/internal/abm"
+	"rumornet/internal/core"
+	"rumornet/internal/degreedist"
+	"rumornet/internal/digg"
+	"rumornet/internal/graph"
+	"rumornet/internal/plot"
+)
+
+// ExtensionTraceIC (extV) exercises the vote-trace substrate: the earliest
+// voters of a Digg story skew toward well-connected users, so a
+// trace-seeded outbreak starts "hub-loaded". The experiment compares three
+// initial conditions carrying the same total infection mass — uniform
+// across groups (the paper's IC), the trace-driven composition, and the
+// trace-seeded agent-based ground truth — and shows the composition alone
+// changes the early growth.
+func ExtensionTraceIC(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	nodes := 20000
+	if cfg.Quick {
+		nodes = 5000
+	}
+	g, err := graph.BarabasiAlbert(nodes, 5, rng)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := degreedist.FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Synthetic vote traces; seed from the biggest story's early voters.
+	votes, err := digg.SampleVotes(g, 30, 0.04, rng)
+	if err != nil {
+		return nil, err
+	}
+	idx := digg.IndexVotes(votes)
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	nSeeds := nodes / 200 // 0.5% of users
+	seeds, err := idx.SeedsFromStory(idx.Stories()[0], nSeeds, ids)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group-resolved IC from the seed set: I_i(0) = seeds in group i /
+	// nodes in group i.
+	groupOf := make(map[int]int, dist.N())
+	for i := 0; i < dist.N(); i++ {
+		groupOf[dist.Degree(i)] = i
+	}
+	groupTotal := make([]float64, dist.N())
+	for u := 0; u < g.NumNodes(); u++ {
+		if i, ok := groupOf[g.OutDegree(u)]; ok {
+			groupTotal[i]++
+		}
+	}
+	seedCount := make([]float64, dist.N())
+	var seedDegreeSum float64
+	for _, u := range seeds {
+		if i, ok := groupOf[g.OutDegree(u)]; ok {
+			seedCount[i]++
+		}
+		seedDegreeSum += float64(g.OutDegree(u))
+	}
+
+	const (
+		eps1 = 0.002
+		eps2 = 0.05
+	)
+	lambda := degreedist.LambdaLinear(0.15)
+	m, err := core.NewModel(dist, core.Params{
+		Alpha: 0, Eps1: eps1, Eps2: eps2,
+		Lambda: lambda, Omega: paperOmega(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Trace-driven IC.
+	traceIC := make([]float64, m.StateDim())
+	var totalI float64
+	for i := 0; i < m.N(); i++ {
+		inf := 0.0
+		if groupTotal[i] > 0 {
+			inf = seedCount[i] / groupTotal[i]
+		}
+		traceIC[i] = 1 - inf
+		traceIC[m.N()+i] = inf
+		totalI += dist.Prob(i) * inf
+	}
+	// Uniform IC with the same population-weighted infection mass.
+	uniformIC, err := m.UniformIC(totalI)
+	if err != nil {
+		return nil, err
+	}
+
+	tf := 60.0
+	trTrace, err := m.Simulate(traceIC, tf, simOpts(cfg, tf))
+	if err != nil {
+		return nil, err
+	}
+	trUniform, err := m.Simulate(uniformIC, tf, simOpts(cfg, tf))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "extV",
+		Title: "Extension: trace-driven vs uniform initial conditions (same infected mass)",
+	}
+	res.Series = append(res.Series,
+		plot.Series{Name: "ODE, trace-driven IC", X: trTrace.T, Y: trTrace.MeanISeries()},
+		plot.Series{Name: "ODE, uniform IC", X: trUniform.T, Y: trUniform.MeanISeries()},
+	)
+
+	// Ground truth: the trace-seeded quenched ABM.
+	steps := int(tf / 0.5)
+	r, err := abm.Run(g, abm.Config{
+		Lambda: lambda, Omega: paperOmega(),
+		Eps1: eps1, Eps2: eps2,
+		I0: totalI, Seeds: seeds,
+		Dt: 0.5, Steps: steps,
+		Mode: abm.ModeQuenched,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = append(res.Series, plot.Series{Name: "ABM, trace-seeded", X: r.T, Y: r.I})
+
+	res.setScalar("seedMeanDegree", seedDegreeSum/float64(len(seeds)))
+	res.setScalar("graphMeanDegree", dist.MeanDegree())
+	// The long-run attractor is IC-independent; the composition shows in
+	// the initial infectivity Θ(0) and the early growth.
+	theta0Trace := m.Theta(traceIC)
+	theta0Uniform := m.Theta(uniformIC)
+	res.setScalar("theta0Trace", theta0Trace)
+	res.setScalar("theta0Uniform", theta0Uniform)
+	res.setScalar("earlyITrace", trTrace.MeanISeries()[trTrace.Len()/12])
+	res.setScalar("earlyIUniform", trUniform.MeanISeries()[trUniform.Len()/12])
+	res.addNote("early voters average degree %.1f vs network mean %.1f: the trace-driven "+
+		"IC is hub-loaded, so its initial infectivity Θ(0) = %.4g exceeds the uniform "+
+		"IC's %.4g at identical infected mass, accelerating the early phase",
+		seedDegreeSum/float64(len(seeds)), dist.MeanDegree(), theta0Trace, theta0Uniform)
+	return res, nil
+}

@@ -1,0 +1,228 @@
+// Package floats provides small dense-vector helpers shared by the numeric
+// packages in this repository (ODE integrators, the heterogeneous SIR model
+// and the optimal-control solver).
+//
+// All functions operate on []float64 in place where that is the natural Go
+// idiom, never allocate unless documented, and panic only on programmer
+// errors (mismatched lengths), mirroring the standard library's slice
+// built-ins.
+package floats
+
+import (
+	"math"
+	"strconv"
+)
+
+// Add adds src to dst element-wise and stores the result in dst.
+// It panics if the slices have different lengths.
+func Add(dst, src []float64) {
+	mustSameLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Sub subtracts src from dst element-wise and stores the result in dst.
+// It panics if the slices have different lengths.
+func Sub(dst, src []float64) {
+	mustSameLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// Scale multiplies every element of dst by c.
+func Scale(dst []float64, c float64) {
+	for i := range dst {
+		dst[i] *= c
+	}
+}
+
+// AddScaled computes dst += c*src element-wise (the BLAS "axpy" operation).
+// It panics if the slices have different lengths.
+func AddScaled(dst []float64, c float64, src []float64) {
+	mustSameLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] += c * v
+	}
+}
+
+// Fill sets every element of dst to v.
+func Fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// Dot returns the inner product of a and b.
+// It panics if the slices have different lengths.
+func Dot(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Sum returns the sum of the elements of a.
+func Sum(a []float64) float64 {
+	var sum float64
+	for _, v := range a {
+		sum += v
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean (L2) norm of a.
+func Norm2(a []float64) float64 {
+	var sum float64
+	for _, v := range a {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// NormInf returns the maximum-magnitude (L-infinity) norm of a.
+func NormInf(a []float64) float64 {
+	var m float64
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+// It panics if the slices have different lengths.
+func Dist2(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var sum float64
+	for i, v := range a {
+		d := v - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// DistInf returns the L-infinity distance between a and b.
+// It panics if the slices have different lengths.
+func DistInf(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var m float64
+	for i, v := range a {
+		if d := math.Abs(v - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Clamp returns v restricted to the closed interval [lo, hi].
+// It panics if lo > hi.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic("floats: Clamp with lo > hi (lo=" +
+			strconv.FormatFloat(lo, 'g', -1, 64) + ", hi=" +
+			strconv.FormatFloat(hi, 'g', -1, 64) + ")")
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// ClampAll clamps every element of dst to [lo, hi] in place.
+func ClampAll(dst []float64, lo, hi float64) {
+	for i, v := range dst {
+		dst[i] = Clamp(v, lo, hi)
+	}
+}
+
+// Max returns the maximum element of a. It panics if a is empty.
+func Max(a []float64) float64 {
+	if len(a) == 0 {
+		panic("floats: Max of empty slice")
+	}
+	m := a[0]
+	for _, v := range a[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element of a. It panics if a is empty.
+func Min(a []float64) float64 {
+	if len(a) == 0 {
+		panic("floats: Min of empty slice")
+	}
+	m := a[0]
+	for _, v := range a[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// It panics if n < 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("floats: Linspace needs n >= 2, got " + strconv.Itoa(n))
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated rounding at the endpoint
+	return out
+}
+
+// Clone returns a newly allocated copy of a. Clone(nil) returns nil.
+func Clone(a []float64) []float64 {
+	if a == nil {
+		return nil
+	}
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// EqualWithin reports whether a and b have the same length and every pair of
+// elements differs by at most tol.
+func EqualWithin(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Abs(v-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every element of a is finite (not NaN or ±Inf).
+func AllFinite(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic("floats: length mismatch: " + strconv.Itoa(a) + " vs " + strconv.Itoa(b))
+	}
+}

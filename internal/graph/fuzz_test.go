@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the edge-list parser never panics and that every
+// accepted input yields a structurally consistent graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n10 20\n\n20 10\n")
+	f.Add("a b\n")
+	f.Add("-1 2\n")
+	f.Add("1\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, ids, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.NumNodes() != len(ids) {
+			t.Fatalf("nodes %d != ids %d", g.NumNodes(), len(ids))
+		}
+		var arcs int
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.OutNeighbors(u) {
+				if v < 0 || v >= g.NumNodes() {
+					t.Fatalf("edge target %d out of range", v)
+				}
+				arcs++
+			}
+		}
+		if arcs != g.NumEdges() {
+			t.Fatalf("adjacency count %d != NumEdges %d", arcs, g.NumEdges())
+		}
+	})
+}

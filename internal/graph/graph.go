@@ -1,0 +1,178 @@
+// Package graph implements the directed social-network substrate the paper
+// evaluates on: a compact adjacency-list graph, random-graph generators
+// (Erdős–Rényi, Barabási–Albert, configuration model, truncated power-law
+// sequences), structural metrics (degrees, k-core, Brandes betweenness,
+// clustering, components) and edge-list IO.
+//
+// Node identifiers are dense integers in [0, NumNodes). The paper
+// characterizes users by "social connectivity", which for the directed
+// Digg2009 follower graph we take as the out-degree (the number of
+// followers a spreader can reach); TotalDegree is also provided.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed multigraph with a fixed node count. The zero value is
+// not usable; construct with New. Methods that return adjacency slices
+// return internal views that must not be mutated.
+type Graph struct {
+	out [][]int
+	in  [][]int
+	m   int
+}
+
+// New returns an empty directed graph on n nodes.
+// It panics if n is negative.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: New with negative n=%d", n))
+	}
+	return &Graph{
+		out: make([][]int, n),
+		in:  make([][]int, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of directed edges (arcs).
+func (g *Graph) NumEdges() int { return g.m }
+
+// AddEdge adds the directed edge u → v. Parallel edges and self-loops are
+// permitted (the configuration model may produce them; callers that care
+// use Simplify). It returns an error if either endpoint is out of range.
+func (g *Graph) AddEdge(u, v int) error {
+	if err := g.check(u); err != nil {
+		return err
+	}
+	if err := g.check(v); err != nil {
+		return err
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.m++
+	return nil
+}
+
+// AddUndirected adds both arcs u → v and v → u.
+func (g *Graph) AddUndirected(u, v int) error {
+	if err := g.AddEdge(u, v); err != nil {
+		return err
+	}
+	return g.AddEdge(v, u)
+}
+
+// OutNeighbors returns the targets of edges leaving u as an internal view.
+func (g *Graph) OutNeighbors(u int) []int { return g.out[u] }
+
+// InNeighbors returns the sources of edges entering u as an internal view.
+func (g *Graph) InNeighbors(u int) []int { return g.in[u] }
+
+// OutDegree returns the number of edges leaving u.
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of edges entering u.
+func (g *Graph) InDegree(u int) int { return len(g.in[u]) }
+
+// TotalDegree returns InDegree(u) + OutDegree(u).
+func (g *Graph) TotalDegree(u int) int { return len(g.in[u]) + len(g.out[u]) }
+
+// OutDegrees returns the out-degree sequence as a fresh slice.
+func (g *Graph) OutDegrees() []int {
+	ds := make([]int, len(g.out))
+	for u := range g.out {
+		ds[u] = len(g.out[u])
+	}
+	return ds
+}
+
+// TotalDegrees returns the total-degree sequence as a fresh slice.
+func (g *Graph) TotalDegrees() []int {
+	ds := make([]int, len(g.out))
+	for u := range g.out {
+		ds[u] = len(g.out[u]) + len(g.in[u])
+	}
+	return ds
+}
+
+// Simplify returns a copy of g with self-loops and duplicate arcs removed.
+func (g *Graph) Simplify() *Graph {
+	ng := New(g.NumNodes())
+	seen := make(map[int]struct{})
+	for u := range g.out {
+		clear(seen)
+		for _, v := range g.out[u] {
+			if v == u {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			// Endpoints are valid by construction.
+			_ = ng.AddEdge(u, v)
+		}
+	}
+	return ng
+}
+
+// MaxDegree returns the maximum out-degree in the graph, or 0 for an empty
+// graph.
+func (g *Graph) MaxDegree() int {
+	var m int
+	for u := range g.out {
+		if d := len(g.out[u]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanOutDegree returns the average out-degree (edges per node), or 0 for an
+// empty graph.
+func (g *Graph) MeanOutDegree() float64 {
+	if len(g.out) == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(len(g.out))
+}
+
+// DistinctOutDegrees returns the number of distinct out-degree values — the
+// paper's "848 groups" statistic for Digg2009.
+func (g *Graph) DistinctOutDegrees() int {
+	set := make(map[int]struct{})
+	for u := range g.out {
+		set[len(g.out[u])] = struct{}{}
+	}
+	return len(set)
+}
+
+// DegreeHistogram returns the sorted distinct out-degree values and the
+// number of nodes holding each.
+func (g *Graph) DegreeHistogram() (degrees []int, counts []int) {
+	hist := make(map[int]int)
+	for u := range g.out {
+		hist[len(g.out[u])]++
+	}
+	degrees = make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}
+
+func (g *Graph) check(u int) error {
+	if u < 0 || u >= len(g.out) {
+		return fmt.Errorf("graph: node %d out of range [0, %d)", u, len(g.out))
+	}
+	return nil
+}

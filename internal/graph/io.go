@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as one "u v" line per directed edge.
+// Lines are emitted in node order, making the output deterministic.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if _, err := bw.WriteString(strconv.Itoa(u) + " " + strconv.Itoa(v) + "\n"); err != nil {
+				return fmt.Errorf("graph: write edge: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush edge list: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// '#'-prefixed lines and blank lines are ignored). Node ids may be sparse
+// and arbitrary non-negative integers; they are remapped to a dense range in
+// first-seen order. It returns the graph and the original ids indexed by
+// dense id.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	type edge struct{ u, v int }
+	var (
+		edges []edge
+		ids   []int64
+	)
+	remap := make(map[int64]int)
+	dense := func(raw int64) int {
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := len(ids)
+		remap[raw] = id
+		ids = append(ids, raw)
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source id: %w", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad target id: %w", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative node id", line)
+		}
+		edges = append(edges, edge{dense(u), dense(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: scan edge list: %w", err)
+	}
+
+	g := New(len(ids))
+	for _, e := range edges {
+		// Dense ids are in range by construction.
+		_ = g.AddEdge(e.u, e.v)
+	}
+	return g, ids, nil
+}

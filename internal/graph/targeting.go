@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// The paper's introduction describes blocking rumors "at influential users"
+// identified by their Degree, Betweenness or Core. This file implements
+// those selection strategies so the agent-based experiments can compare
+// them (experiment ablT).
+
+// TopKByOutDegree returns the k nodes with the highest out-degree,
+// descending (ties broken by node id for determinism).
+func (g *Graph) TopKByOutDegree(k int) ([]int, error) {
+	return g.topK(k, func(u int) float64 { return float64(g.OutDegree(u)) })
+}
+
+// TopKByTotalDegree returns the k nodes with the highest total degree.
+func (g *Graph) TopKByTotalDegree(k int) ([]int, error) {
+	return g.topK(k, func(u int) float64 { return float64(g.TotalDegree(u)) })
+}
+
+// TopKByCore returns the k nodes with the highest k-core number.
+func (g *Graph) TopKByCore(k int) ([]int, error) {
+	core := g.KCore()
+	return g.topK(k, func(u int) float64 { return float64(core[u]) })
+}
+
+// TopKByBetweenness returns the k nodes with the highest (optionally
+// sampled) betweenness centrality. samples and rng follow Betweenness.
+func (g *Graph) TopKByBetweenness(k, samples int, rng *rand.Rand) ([]int, error) {
+	bc, err := g.Betweenness(samples, rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.topK(k, func(u int) float64 { return bc[u] })
+}
+
+// RandomK returns k distinct nodes chosen uniformly at random — the
+// untargeted baseline.
+func (g *Graph) RandomK(k int, rng *rand.Rand) ([]int, error) {
+	n := g.NumNodes()
+	if err := checkK(k, n); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("graph: RandomK needs a rand source")
+	}
+	return rng.Perm(n)[:k], nil
+}
+
+func (g *Graph) topK(k int, score func(int) float64) ([]int, error) {
+	n := g.NumNodes()
+	if err := checkK(k, n); err != nil {
+		return nil, err
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := score(idx[a]), score(idx[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k], nil
+}
+
+func checkK(k, n int) error {
+	if k < 0 || k > n {
+		return fmt.Errorf("graph: k = %d outside [0, %d]", k, n)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// targetingGraph: a star (hub 0) plus a pendant chain, so every centrality
+// has an unambiguous winner.
+func targetingGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New(7)
+	for v := 1; v <= 4; v++ {
+		if err := g.AddUndirected(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chain 4—5—6 hangs off the star.
+	if err := g.AddUndirected(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUndirected(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTopKByOutDegree(t *testing.T) {
+	g := targetingGraph(t)
+	top, err := g.TopKByOutDegree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 0 {
+		t.Errorf("top degree node = %d, want hub 0", top[0])
+	}
+	if top[1] != 4 && top[1] != 5 { // degree 2 nodes
+		t.Errorf("second node = %d, want 4 or 5", top[1])
+	}
+}
+
+func TestTopKByTotalDegree(t *testing.T) {
+	g := targetingGraph(t)
+	top, err := g.TopKByTotalDegree(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 0 {
+		t.Errorf("top total-degree node = %d, want hub 0", top[0])
+	}
+}
+
+func TestTopKByCore(t *testing.T) {
+	// A 4-clique with pendants: clique nodes have the top core numbers.
+	g := New(6)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := g.AddUndirected(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddUndirected(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUndirected(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	top, err := g.TopKByCore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	for _, u := range top {
+		if !want[u] {
+			t.Errorf("core-targeted node %d not in the clique", u)
+		}
+	}
+}
+
+func TestTopKByBetweenness(t *testing.T) {
+	g := targetingGraph(t)
+	top, err := g.TopKByBetweenness(2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hub 0 and bridge 4 (or 5) carry the shortest paths.
+	if top[0] != 0 && top[0] != 4 && top[0] != 5 {
+		t.Errorf("top betweenness node = %d, want a bridge or the hub", top[0])
+	}
+}
+
+func TestRandomK(t *testing.T) {
+	g := targetingGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	picks, err := g.RandomK(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 3 {
+		t.Fatalf("len = %d", len(picks))
+	}
+	seen := make(map[int]bool)
+	for _, u := range picks {
+		if u < 0 || u >= g.NumNodes() || seen[u] {
+			t.Fatalf("invalid or duplicate pick %d", u)
+		}
+		seen[u] = true
+	}
+	if _, err := g.RandomK(3, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+}
+
+func TestTopKBounds(t *testing.T) {
+	g := targetingGraph(t)
+	if _, err := g.TopKByOutDegree(-1); err == nil {
+		t.Error("k < 0: want error")
+	}
+	if _, err := g.TopKByOutDegree(100); err == nil {
+		t.Error("k > n: want error")
+	}
+	all, err := g.TopKByOutDegree(g.NumNodes())
+	if err != nil || len(all) != g.NumNodes() {
+		t.Errorf("k = n: got %d nodes, err %v", len(all), err)
+	}
+	zero, err := g.TopKByOutDegree(0)
+	if err != nil || len(zero) != 0 {
+		t.Errorf("k = 0: got %v, err %v", zero, err)
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	// All-equal degrees: ties break by ascending node id.
+	g := New(4)
+	for u := 0; u < 4; u++ {
+		if err := g.AddEdge(u, (u+1)%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, err := g.TopKByOutDegree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range top {
+		if u != i {
+			t.Fatalf("tie break not by id: %v", top)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rumornet/internal/floats"
+)
+
+// ErrNewton is returned when the implicit stepper's Newton iteration fails
+// to converge even after step-size reduction.
+var ErrNewton = errors.New("ode: Newton iteration did not converge")
+
+// ImplicitOptions configures SolveImplicit on top of Options.
+type ImplicitOptions struct {
+	Options
+
+	// Theta selects the method: 1.0 is backward Euler (order 1,
+	// L-stable), 0.5 is the implicit trapezoidal rule (order 2,
+	// A-stable). Values in (0, 1] are admitted. Default 0.5.
+	Theta float64
+
+	// NewtonTol is the residual tolerance of the inner Newton solve
+	// (default 1e-10 scaled by the state norm).
+	NewtonTol float64
+
+	// MaxNewton bounds Newton iterations per step (default 25).
+	MaxNewton int
+
+	// JacobianEps is the finite-difference perturbation used to form
+	// ∂f/∂y (default 1e-8 relative).
+	JacobianEps float64
+}
+
+func (o *ImplicitOptions) theta() float64 {
+	if o == nil || o.Theta <= 0 || o.Theta > 1 {
+		return 0.5
+	}
+	return o.Theta
+}
+
+func (o *ImplicitOptions) newtonTol() float64 {
+	if o == nil || o.NewtonTol <= 0 {
+		return 1e-10
+	}
+	return o.NewtonTol
+}
+
+func (o *ImplicitOptions) maxNewton() int {
+	if o == nil || o.MaxNewton <= 0 {
+		return 25
+	}
+	return o.MaxNewton
+}
+
+func (o *ImplicitOptions) jacEps() float64 {
+	if o == nil || o.JacobianEps <= 0 {
+		return 1e-8
+	}
+	return o.JacobianEps
+}
+
+// SolveImplicit integrates y' = f(t, y) with the θ-method (backward Euler
+// for θ = 1, implicit trapezoid for θ = 0.5), solving the per-step
+// nonlinear system with Newton's method on a finite-difference Jacobian.
+// Use it for stiff problems — such as the paper's literal Fig. 3 parameter
+// set, whose ε2 = 10⁻⁴ makes explicit steppers crawl. Each step costs one
+// n×n Jacobian assembly (n RHS evaluations) and an LU solve per Newton
+// iteration, so prefer the explicit solvers for non-stiff work.
+func SolveImplicit(f Func, y0 []float64, t0, tf, h float64, opts *ImplicitOptions) (*Solution, error) {
+	if err := checkSpan(t0, tf, h); err != nil {
+		return nil, err
+	}
+	n := len(y0)
+	if n == 0 {
+		return nil, errors.New("ode: empty initial state")
+	}
+	var optBase *Options
+	if opts != nil {
+		optBase = &opts.Options
+	}
+	theta := opts.theta()
+	steps := int(math.Ceil((tf - t0) / h))
+	if ms := optBase.maxSteps(); steps > ms {
+		return nil, fmt.Errorf("ode: %d steps exceed MaxSteps=%d", steps, ms)
+	}
+	rec := optBase.record()
+
+	sol := &Solution{
+		T: make([]float64, 0, steps/rec+2),
+		Y: make([][]float64, 0, steps/rec+2),
+	}
+	y := floats.Clone(y0)
+	sol.T = append(sol.T, t0)
+	sol.Y = append(sol.Y, floats.Clone(y))
+
+	var (
+		fy   = make([]float64, n) // f(t, y) at the step start
+		fz   = make([]float64, n) // f(t+h, z) at the Newton iterate
+		g    = make([]float64, n) // Newton residual
+		z    = make([]float64, n) // Newton iterate
+		dz   = make([]float64, n)
+		fpz  = make([]float64, n)
+		jac  = newMatrix(n)
+		lu   = newMatrix(n)
+		perm = make([]int, n)
+	)
+
+	t := t0
+	for i := 0; i < steps; i++ {
+		step := h
+		if t+step > tf {
+			step = tf - t
+		}
+		f(t, y, fy)
+
+		// Predictor: explicit Euler.
+		copy(z, y)
+		floats.AddScaled(z, step, fy)
+
+		converged := false
+		for attempt := 0; attempt < 2 && !converged; attempt++ {
+			// Assemble J_G = I − h·θ·∂f/∂z once per step (modified Newton).
+			f(t+step, z, fz)
+			assembleNewtonJacobian(f, t+step, z, fz, fpz, jac, step*theta, opts.jacEps())
+			copyMatrix(lu, jac)
+			if err := luFactor(lu, perm); err != nil {
+				return sol, fmt.Errorf("ode: implicit step at t=%g: %w", t, err)
+			}
+
+			tol := opts.newtonTol() * (1 + floats.NormInf(y))
+			for iter := 0; iter < opts.maxNewton(); iter++ {
+				f(t+step, z, fz)
+				// G(z) = z − y − h[(1−θ) f(t, y) + θ f(t+h, z)].
+				for j := 0; j < n; j++ {
+					g[j] = z[j] - y[j] - step*((1-theta)*fy[j]+theta*fz[j])
+				}
+				if floats.NormInf(g) <= tol {
+					converged = true
+					break
+				}
+				copy(dz, g)
+				luSolve(lu, perm, dz)
+				floats.Sub(z, dz)
+				if !floats.AllFinite(z) {
+					break
+				}
+			}
+			if !converged {
+				// Retry once from a fresh predictor with a re-assembled
+				// Jacobian at the midpoint guess.
+				copy(z, y)
+				floats.AddScaled(z, step/2, fy)
+			}
+		}
+		if !converged {
+			return sol, fmt.Errorf("%w at t=%g (h=%g)", ErrNewton, t, step)
+		}
+
+		copy(y, z)
+		t += step
+		if i == steps-1 {
+			t = tf
+		}
+		optBase.project(y)
+		if !floats.AllFinite(y) {
+			return sol, fmt.Errorf("ode: state became non-finite at t=%g", t)
+		}
+		if (i+1)%rec == 0 || i == steps-1 {
+			sol.T = append(sol.T, t)
+			sol.Y = append(sol.Y, floats.Clone(y))
+		}
+		if optBase.stop(t, y) {
+			if sol.T[len(sol.T)-1] != t {
+				sol.T = append(sol.T, t)
+				sol.Y = append(sol.Y, floats.Clone(y))
+			}
+			return sol, nil
+		}
+	}
+	return sol, nil
+}
+
+// assembleNewtonJacobian fills jac with I − hθ·∂f/∂z using forward
+// differences around z (fz = f(t, z) already evaluated).
+func assembleNewtonJacobian(f Func, t float64, z, fz, scratch []float64, jac [][]float64, hTheta, eps float64) {
+	n := len(z)
+	for c := 0; c < n; c++ {
+		d := eps * (1 + math.Abs(z[c]))
+		orig := z[c]
+		z[c] = orig + d
+		f(t, z, scratch)
+		z[c] = orig
+		for r := 0; r < n; r++ {
+			jac[r][c] = -hTheta * (scratch[r] - fz[r]) / d
+		}
+		jac[c][c]++
+	}
+}
+
+func newMatrix(n int) [][]float64 {
+	backing := make([]float64, n*n)
+	m := make([][]float64, n)
+	for r := range m {
+		m[r] = backing[r*n : (r+1)*n]
+	}
+	return m
+}
+
+func copyMatrix(dst, src [][]float64) {
+	for r := range src {
+		copy(dst[r], src[r])
+	}
+}
+
+// luFactor performs in-place LU factorization with partial pivoting,
+// recording the row permutation in perm.
+func luFactor(a [][]float64, perm []int) error {
+	n := len(a)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best == 0 {
+			return fmt.Errorf("ode: singular Newton Jacobian at column %d", col)
+		}
+		if pivot != col {
+			a[pivot], a[col] = a[col], a[pivot]
+			perm[pivot], perm[col] = perm[col], perm[pivot]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			m := a[r][col] * inv
+			a[r][col] = m
+			if m == 0 {
+				continue
+			}
+			arow, crow := a[r], a[col]
+			for c := col + 1; c < n; c++ {
+				arow[c] -= m * crow[c]
+			}
+		}
+	}
+	return nil
+}
+
+// luSolve solves A x = b in place on b using a factorization from luFactor.
+func luSolve(lu [][]float64, perm []int, b []float64) {
+	n := len(lu)
+	// Apply the permutation.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[perm[i]]
+	}
+	copy(b, tmp)
+	// Forward substitution (unit lower triangle).
+	for r := 1; r < n; r++ {
+		var sum float64
+		row := lu[r]
+		for c := 0; c < r; c++ {
+			sum += row[c] * b[c]
+		}
+		b[r] -= sum
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		var sum float64
+		row := lu[r]
+		for c := r + 1; c < n; c++ {
+			sum += row[c] * b[c]
+		}
+		b[r] = (b[r] - sum) / row[r]
+	}
+}

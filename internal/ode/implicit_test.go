@@ -1,0 +1,185 @@
+package ode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// stiff is y' = −1000(y − cos t) − sin t with exact solution y = cos t for
+// y(0) = 1. Explicit RK4 requires h ≲ 2.8/1000; the implicit solver does
+// not.
+func stiff(t float64, y, dydt []float64) {
+	dydt[0] = -1000*(y[0]-math.Cos(t)) - math.Sin(t)
+}
+
+func TestSolveImplicitStiff(t *testing.T) {
+	sol, err := SolveImplicit(stiff, []float64{1}, 0, 2, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := sol.Last()
+	if d := math.Abs(y[0] - math.Cos(2)); d > 1e-4 {
+		t.Errorf("y(2) = %v, want cos(2) = %v (err %g)", y[0], math.Cos(2), d)
+	}
+}
+
+func TestExplicitRK4FailsWhereImplicitSucceeds(t *testing.T) {
+	// The same stiff problem at h = 0.01 violates RK4's stability bound
+	// (1000·0.01 = 10 > 2.79): the explicit solution must blow up (the
+	// driver reports a non-finite state), while SolveImplicit above
+	// handled it. This is the motivation test for the implicit stepper.
+	_, err := SolveFixed(stiff, []float64{1}, 0, 2, 0.01, &RK4{}, nil)
+	if err == nil {
+		t.Error("explicit RK4 unexpectedly stable on the stiff problem")
+	}
+}
+
+func TestSolveImplicitOrders(t *testing.T) {
+	tests := []struct {
+		name      string
+		theta     float64
+		wantOrder float64
+	}{
+		{"backward-euler", 1.0, 1},
+		{"trapezoid", 0.5, 2},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			errAt := func(h float64) float64 {
+				sol, err := SolveImplicit(logistic, []float64{0.2}, 0, 2, h,
+					&ImplicitOptions{Theta: tt.theta})
+				if err != nil {
+					t.Fatalf("SolveImplicit(h=%v): %v", h, err)
+				}
+				_, y := sol.Last()
+				return math.Abs(y[0] - logisticExact(0.2, 2))
+			}
+			e1, e2 := errAt(0.05), errAt(0.025)
+			order := math.Log2(e1 / e2)
+			if math.Abs(order-tt.wantOrder) > 0.35 {
+				t.Errorf("empirical order = %.2f, want ~%v (e1=%g e2=%g)",
+					order, tt.wantOrder, e1, e2)
+			}
+		})
+	}
+}
+
+func TestSolveImplicitMultiDimensional(t *testing.T) {
+	// Harmonic oscillator: trapezoid is symplectic-adjacent and keeps the
+	// energy bounded.
+	sol, err := SolveImplicit(harmonic, []float64{1, 0}, 0, 2*math.Pi, 1e-3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, y := sol.Last()
+	if math.Abs(y[0]-1) > 1e-4 || math.Abs(y[1]) > 1e-4 {
+		t.Errorf("after one period y = %v, want (1, 0)", y)
+	}
+}
+
+func TestSolveImplicitStopAndProject(t *testing.T) {
+	opts := &ImplicitOptions{
+		Options: Options{
+			Stop: func(_ float64, y []float64) bool { return y[0] < 0.5 },
+		},
+	}
+	sol, err := SolveImplicit(expDecay, []float64{1}, 0, 10, 1e-3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, y := sol.Last()
+	if y[0] >= 0.5 || math.Abs(tf-math.Ln2) > 0.01 {
+		t.Errorf("stop condition: t=%v y=%v", tf, y[0])
+	}
+
+	grow := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
+	popts := &ImplicitOptions{
+		Options: Options{Project: func(y []float64) {
+			if y[0] > 0.3 {
+				y[0] = 0.3
+			}
+		}},
+	}
+	psol, err := SolveImplicit(grow, []float64{0}, 0, 1, 1e-2, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, py := psol.Last()
+	if py[0] != 0.3 {
+		t.Errorf("projection: y = %v, want 0.3", py[0])
+	}
+}
+
+func TestSolveImplicitValidation(t *testing.T) {
+	if _, err := SolveImplicit(expDecay, []float64{1}, 1, 0, 0.1, nil); err == nil {
+		t.Error("reversed span: want error")
+	}
+	if _, err := SolveImplicit(expDecay, nil, 0, 1, 0.1, nil); err == nil {
+		t.Error("empty state: want error")
+	}
+	if _, err := SolveImplicit(expDecay, []float64{1}, 0, 1e6, 1e-6,
+		&ImplicitOptions{Options: Options{MaxSteps: 10}}); err == nil {
+		t.Error("MaxSteps: want error")
+	}
+}
+
+func TestLUFactorSolve(t *testing.T) {
+	a := newMatrix(3)
+	vals := [][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}}
+	for r := range vals {
+		copy(a[r], vals[r])
+	}
+	perm := make([]int, 3)
+	if err := luFactor(a, perm); err != nil {
+		t.Fatal(err)
+	}
+	// Solve A x = b with known x = (1, 2, 3): b = A x.
+	b := []float64{2*1 + 1*2 + 1*3, 4*1 - 6*2, -2*1 + 7*2 + 2*3}
+	luSolve(a, perm, b)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestLUFactorSingular(t *testing.T) {
+	a := newMatrix(2)
+	a[0][0], a[0][1] = 1, 2
+	a[1][0], a[1][1] = 2, 4 // linearly dependent
+	perm := make([]int, 2)
+	if err := luFactor(a, perm); err == nil {
+		t.Error("singular matrix: want error")
+	}
+}
+
+// Property: implicit trapezoid and explicit RK4 agree on the (non-stiff)
+// logistic equation across random horizons.
+func TestQuickImplicitMatchesExplicit(t *testing.T) {
+	f := func(raw uint8) bool {
+		span := 0.5 + float64(raw)/255*5
+		im, err1 := SolveImplicit(logistic, []float64{0.1}, 0, span, 1e-3, nil)
+		ex, err2 := SolveFixed(logistic, []float64{0.1}, 0, span, 1e-3, &RK4{}, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		_, a := im.Last()
+		_, b := ex.Last()
+		return math.Abs(a[0]-b[0]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveImplicitStiff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveImplicit(stiff, []float64{1}, 0, 1, 0.01, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

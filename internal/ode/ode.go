@@ -1,0 +1,493 @@
+// Package ode implements initial-value-problem solvers for systems of
+// ordinary differential equations, written from scratch on the standard
+// library (Go has no mature scientific stack).
+//
+// It provides the classic fixed-step Runge–Kutta family (Euler, Heun, RK4)
+// and an adaptive Dormand–Prince 5(4) pair with a PI step-size controller.
+// The package is the numeric substrate for the heterogeneous SIR rumor model
+// (internal/core) and the Pontryagin forward–backward sweep solver
+// (internal/control).
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rumornet/internal/floats"
+)
+
+// Func is the right-hand side of an ODE system y' = f(t, y). Implementations
+// must write the derivative into dydt (which has len(y) elements) and must
+// not retain either slice.
+type Func func(t float64, y []float64, dydt []float64)
+
+// Solution is a sampled trajectory of an ODE system. T holds the sample
+// times in increasing order and Y[i] the state at T[i]. Each Y[i] is an
+// independent copy; callers may mutate them freely.
+type Solution struct {
+	T []float64
+	Y [][]float64
+}
+
+// Len returns the number of samples in the trajectory.
+func (s *Solution) Len() int { return len(s.T) }
+
+// Last returns the final time and state of the trajectory.
+// It panics if the solution is empty.
+func (s *Solution) Last() (t float64, y []float64) {
+	if len(s.T) == 0 {
+		panic("ode: Last on empty Solution")
+	}
+	return s.T[len(s.T)-1], s.Y[len(s.Y)-1]
+}
+
+// At returns the state at time t by linear interpolation between the two
+// bracketing samples. Times outside the sampled range clamp to the nearest
+// endpoint.
+func (s *Solution) At(t float64) []float64 {
+	n := len(s.T)
+	if n == 0 {
+		panic("ode: At on empty Solution")
+	}
+	if t <= s.T[0] {
+		return floats.Clone(s.Y[0])
+	}
+	if t >= s.T[n-1] {
+		return floats.Clone(s.Y[n-1])
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := s.T[hi] - s.T[lo]
+	w := 0.0
+	if span > 0 {
+		w = (t - s.T[lo]) / span
+	}
+	out := floats.Clone(s.Y[lo])
+	for i := range out {
+		out[i] += w * (s.Y[hi][i] - s.Y[lo][i])
+	}
+	return out
+}
+
+// Series extracts component j of the state as a time series aligned with T.
+func (s *Solution) Series(j int) []float64 {
+	out := make([]float64, len(s.Y))
+	for i, y := range s.Y {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// Options configures an integration run. The zero value is usable: it means
+// "no projection, no stop condition, default step limits".
+type Options struct {
+	// Project, if non-nil, is applied to the state after every accepted
+	// step. It is used by the SIR model to keep densities inside the
+	// simplex against round-off drift.
+	Project func(y []float64)
+
+	// Stop, if non-nil, terminates the integration early when it returns
+	// true. The sample at which it fired is included in the solution.
+	Stop func(t float64, y []float64) bool
+
+	// MaxSteps bounds the number of accepted steps (default 10_000_000).
+	MaxSteps int
+
+	// Record decides how many accepted steps to skip between retained
+	// samples for fixed-step methods (default 1: keep every step).
+	Record int
+}
+
+func (o *Options) maxSteps() int {
+	if o == nil || o.MaxSteps <= 0 {
+		return 10_000_000
+	}
+	return o.MaxSteps
+}
+
+func (o *Options) record() int {
+	if o == nil || o.Record <= 0 {
+		return 1
+	}
+	return o.Record
+}
+
+func (o *Options) project(y []float64) {
+	if o != nil && o.Project != nil {
+		o.Project(y)
+	}
+}
+
+func (o *Options) stop(t float64, y []float64) bool {
+	return o != nil && o.Stop != nil && o.Stop(t, y)
+}
+
+// Stepper advances an ODE state by one fixed step. Implementations keep
+// internal scratch buffers and are therefore not safe for concurrent use;
+// create one Stepper per goroutine.
+type Stepper interface {
+	// Step writes the state at t+h into dst given the state y at t.
+	// dst and y must not alias.
+	Step(f Func, t float64, y []float64, h float64, dst []float64)
+	// Order returns the classical convergence order of the method.
+	Order() int
+	// Name returns a short human-readable method name.
+	Name() string
+}
+
+// Statically verify the steppers satisfy the interface.
+var (
+	_ Stepper = (*Euler)(nil)
+	_ Stepper = (*Heun)(nil)
+	_ Stepper = (*RK4)(nil)
+)
+
+// Euler is the first-order explicit Euler method. Cheap and inaccurate;
+// provided mainly as a baseline for convergence tests.
+type Euler struct {
+	k []float64
+}
+
+// Step implements Stepper.
+func (e *Euler) Step(f Func, t float64, y []float64, h float64, dst []float64) {
+	e.k = grow(e.k, len(y))
+	f(t, y, e.k)
+	copy(dst, y)
+	floats.AddScaled(dst, h, e.k)
+}
+
+// Order implements Stepper.
+func (e *Euler) Order() int { return 1 }
+
+// Name implements Stepper.
+func (e *Euler) Name() string { return "euler" }
+
+// Heun is the second-order explicit trapezoidal (improved Euler) method.
+type Heun struct {
+	k1, k2, tmp []float64
+}
+
+// Step implements Stepper.
+func (hn *Heun) Step(f Func, t float64, y []float64, h float64, dst []float64) {
+	n := len(y)
+	hn.k1 = grow(hn.k1, n)
+	hn.k2 = grow(hn.k2, n)
+	hn.tmp = grow(hn.tmp, n)
+
+	f(t, y, hn.k1)
+	copy(hn.tmp, y)
+	floats.AddScaled(hn.tmp, h, hn.k1)
+	f(t+h, hn.tmp, hn.k2)
+
+	copy(dst, y)
+	floats.AddScaled(dst, h/2, hn.k1)
+	floats.AddScaled(dst, h/2, hn.k2)
+}
+
+// Order implements Stepper.
+func (hn *Heun) Order() int { return 2 }
+
+// Name implements Stepper.
+func (hn *Heun) Name() string { return "heun" }
+
+// RK4 is the classic fourth-order Runge–Kutta method; the workhorse for the
+// SIR simulations and the forward–backward sweep.
+type RK4 struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+// Step implements Stepper.
+func (r *RK4) Step(f Func, t float64, y []float64, h float64, dst []float64) {
+	n := len(y)
+	r.k1 = grow(r.k1, n)
+	r.k2 = grow(r.k2, n)
+	r.k3 = grow(r.k3, n)
+	r.k4 = grow(r.k4, n)
+	r.tmp = grow(r.tmp, n)
+
+	f(t, y, r.k1)
+
+	copy(r.tmp, y)
+	floats.AddScaled(r.tmp, h/2, r.k1)
+	f(t+h/2, r.tmp, r.k2)
+
+	copy(r.tmp, y)
+	floats.AddScaled(r.tmp, h/2, r.k2)
+	f(t+h/2, r.tmp, r.k3)
+
+	copy(r.tmp, y)
+	floats.AddScaled(r.tmp, h, r.k3)
+	f(t+h, r.tmp, r.k4)
+
+	copy(dst, y)
+	floats.AddScaled(dst, h/6, r.k1)
+	floats.AddScaled(dst, h/3, r.k2)
+	floats.AddScaled(dst, h/3, r.k3)
+	floats.AddScaled(dst, h/6, r.k4)
+}
+
+// Order implements Stepper.
+func (r *RK4) Order() int { return 4 }
+
+// Name implements Stepper.
+func (r *RK4) Name() string { return "rk4" }
+
+// SolveFixed integrates y' = f(t, y) from (t0, y0) to tf with constant step
+// h using the given stepper, returning the sampled trajectory. The final
+// step is shortened so the trajectory ends exactly at tf. y0 is not
+// modified.
+func SolveFixed(f Func, y0 []float64, t0, tf, h float64, st Stepper, opts *Options) (*Solution, error) {
+	if err := checkSpan(t0, tf, h); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = &RK4{}
+	}
+	n := len(y0)
+	steps := int(math.Ceil((tf - t0) / h))
+	if ms := opts.maxSteps(); steps > ms {
+		return nil, fmt.Errorf("ode: %d steps exceed MaxSteps=%d", steps, ms)
+	}
+	rec := opts.record()
+
+	sol := &Solution{
+		T: make([]float64, 0, steps/rec+2),
+		Y: make([][]float64, 0, steps/rec+2),
+	}
+	y := floats.Clone(y0)
+	next := make([]float64, n)
+	t := t0
+	sol.T = append(sol.T, t)
+	sol.Y = append(sol.Y, floats.Clone(y))
+
+	for i := 0; i < steps; i++ {
+		step := h
+		if t+step > tf {
+			step = tf - t
+		}
+		st.Step(f, t, y, step, next)
+		y, next = next, y
+		t += step
+		if i == steps-1 {
+			t = tf
+		}
+		opts.project(y)
+		if !floats.AllFinite(y) {
+			return sol, fmt.Errorf("ode: state became non-finite at t=%g", t)
+		}
+		if (i+1)%rec == 0 || i == steps-1 {
+			sol.T = append(sol.T, t)
+			sol.Y = append(sol.Y, floats.Clone(y))
+		}
+		if opts.stop(t, y) {
+			if sol.T[len(sol.T)-1] != t {
+				sol.T = append(sol.T, t)
+				sol.Y = append(sol.Y, floats.Clone(y))
+			}
+			return sol, nil
+		}
+	}
+	return sol, nil
+}
+
+// ErrStepUnderflow is returned by SolveAdaptive when the error controller
+// drives the step size below the representable minimum, which usually means
+// the problem is too stiff for an explicit method at the requested tolerance.
+var ErrStepUnderflow = errors.New("ode: adaptive step size underflow")
+
+// AdaptiveOptions configures SolveAdaptive on top of Options.
+type AdaptiveOptions struct {
+	Options
+
+	// AbsTol and RelTol are the per-component absolute and relative error
+	// tolerances (defaults 1e-9 and 1e-6).
+	AbsTol, RelTol float64
+
+	// InitialStep is the first trial step (default: span/100).
+	InitialStep float64
+
+	// MaxStep caps the step size (default: the full span).
+	MaxStep float64
+}
+
+func (a *AdaptiveOptions) absTol() float64 {
+	if a == nil || a.AbsTol <= 0 {
+		return 1e-9
+	}
+	return a.AbsTol
+}
+
+func (a *AdaptiveOptions) relTol() float64 {
+	if a == nil || a.RelTol <= 0 {
+		return 1e-6
+	}
+	return a.RelTol
+}
+
+// Dormand–Prince 5(4) Butcher tableau.
+var (
+	dpC = [7]float64{0, 1. / 5, 3. / 10, 4. / 5, 8. / 9, 1, 1}
+	dpA = [7][6]float64{
+		{},
+		{1. / 5},
+		{3. / 40, 9. / 40},
+		{44. / 45, -56. / 15, 32. / 9},
+		{19372. / 6561, -25360. / 2187, 64448. / 6561, -212. / 729},
+		{9017. / 3168, -355. / 33, 46732. / 5247, 49. / 176, -5103. / 18656},
+		{35. / 384, 0, 500. / 1113, 125. / 192, -2187. / 6784, 11. / 84},
+	}
+	// 5th-order solution weights (same as the last A row: FSAL property).
+	dpB5 = [7]float64{35. / 384, 0, 500. / 1113, 125. / 192, -2187. / 6784, 11. / 84, 0}
+	// 4th-order embedded weights.
+	dpB4 = [7]float64{5179. / 57600, 0, 7571. / 16695, 393. / 640, -92097. / 339200, 187. / 2100, 1. / 40}
+)
+
+// SolveAdaptive integrates y' = f(t, y) from (t0, y0) to tf with the
+// Dormand–Prince 5(4) embedded pair and a PI step-size controller. Every
+// accepted step is recorded in the returned Solution. y0 is not modified.
+func SolveAdaptive(f Func, y0 []float64, t0, tf float64, opts *AdaptiveOptions) (*Solution, error) {
+	span := tf - t0
+	if span <= 0 {
+		return nil, fmt.Errorf("ode: non-positive time span [%g, %g]", t0, tf)
+	}
+	n := len(y0)
+	if n == 0 {
+		return nil, errors.New("ode: empty initial state")
+	}
+
+	atol, rtol := opts.absTol(), opts.relTol()
+	h := span / 100
+	if opts != nil && opts.InitialStep > 0 {
+		h = opts.InitialStep
+	}
+	hMax := span
+	if opts != nil && opts.MaxStep > 0 {
+		hMax = opts.MaxStep
+	}
+	var optBase *Options
+	if opts != nil {
+		optBase = &opts.Options
+	}
+	maxSteps := optBase.maxSteps()
+
+	k := make([][]float64, 7)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	y := floats.Clone(y0)
+	ytmp := make([]float64, n)
+	y5 := make([]float64, n)
+	y4 := make([]float64, n)
+
+	sol := &Solution{T: []float64{t0}, Y: [][]float64{floats.Clone(y)}}
+	t := t0
+
+	const (
+		safety   = 0.9
+		minScale = 0.2
+		maxScale = 5.0
+		beta     = 0.04 // PI controller damping
+	)
+	errPrev := 1.0
+	accepted := 0
+
+	for t < tf {
+		if h > hMax {
+			h = hMax
+		}
+		if t+h > tf {
+			h = tf - t
+		}
+		if h <= math.Nextafter(t, math.Inf(1))-t {
+			return sol, fmt.Errorf("%w at t=%g", ErrStepUnderflow, t)
+		}
+
+		// Evaluate the seven stages.
+		f(t, y, k[0])
+		for s := 1; s < 7; s++ {
+			copy(ytmp, y)
+			for j := 0; j < s; j++ {
+				if a := dpA[s][j]; a != 0 {
+					floats.AddScaled(ytmp, h*a, k[j])
+				}
+			}
+			f(t+dpC[s]*h, ytmp, k[s])
+		}
+
+		// 5th- and 4th-order candidates.
+		copy(y5, y)
+		copy(y4, y)
+		for s := 0; s < 7; s++ {
+			if dpB5[s] != 0 {
+				floats.AddScaled(y5, h*dpB5[s], k[s])
+			}
+			if dpB4[s] != 0 {
+				floats.AddScaled(y4, h*dpB4[s], k[s])
+			}
+		}
+
+		// Weighted RMS error norm.
+		var errNorm float64
+		for i := 0; i < n; i++ {
+			sc := atol + rtol*math.Max(math.Abs(y[i]), math.Abs(y5[i]))
+			e := (y5[i] - y4[i]) / sc
+			errNorm += e * e
+		}
+		errNorm = math.Sqrt(errNorm / float64(n))
+
+		if errNorm <= 1 || h <= hMax*1e-12 {
+			// Accept.
+			t += h
+			copy(y, y5)
+			optBase.project(y)
+			if !floats.AllFinite(y) {
+				return sol, fmt.Errorf("ode: state became non-finite at t=%g", t)
+			}
+			sol.T = append(sol.T, t)
+			sol.Y = append(sol.Y, floats.Clone(y))
+			accepted++
+			if accepted > maxSteps {
+				return sol, fmt.Errorf("ode: exceeded MaxSteps=%d", maxSteps)
+			}
+			if optBase.stop(t, y) {
+				return sol, nil
+			}
+			errPrev = math.Max(errNorm, 1e-10)
+		}
+
+		// PI step-size update (applies to both accepted and rejected steps).
+		scale := safety * math.Pow(errNorm+1e-16, -0.2+beta) * math.Pow(errPrev, beta)
+		scale = floats.Clamp(scale, minScale, maxScale)
+		h *= scale
+		if !(h > 0) || math.IsInf(h, 0) || math.IsNaN(h) {
+			return sol, fmt.Errorf("%w (h=%g) at t=%g", ErrStepUnderflow, h, t)
+		}
+	}
+	return sol, nil
+}
+
+func checkSpan(t0, tf, h float64) error {
+	if tf <= t0 {
+		return fmt.Errorf("ode: non-positive time span [%g, %g]", t0, tf)
+	}
+	if h <= 0 {
+		return fmt.Errorf("ode: non-positive step size %g", h)
+	}
+	return nil
+}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,191 @@
+// Package plot renders experiment results as ASCII line charts for the
+// terminal and exports them as CSV for external plotting. Every figure of
+// the paper is regenerated through this package by cmd/figgen.
+package plot
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Series is a named sequence of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Validate checks that the series has matching, non-empty coordinates.
+func (s Series) Validate() error {
+	if s.Name == "" {
+		return errors.New("plot: series needs a name")
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("plot: series %q is empty", s.Name)
+	}
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '=', '~'}
+
+// ASCII renders the series as a width×height character chart with axis
+// annotations and a legend.
+func ASCII(title string, width, height int, series ...Series) (string, error) {
+	if width < 20 || height < 5 {
+		return "", fmt.Errorf("plot: chart %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return "", err
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmin > xmax || ymin > ymax {
+		return "", errors.New("plot: no finite points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			c := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	yTop := strconv.FormatFloat(ymax, 'g', 4, 64)
+	yBot := strconv.FormatFloat(ymin, 'g', 4, 64)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case height - 1:
+			label = pad(yBot, labelW)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", labelW))
+	b.WriteString(" +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", labelW+2))
+	xAxis := strconv.FormatFloat(xmin, 'g', 4, 64) +
+		strings.Repeat(" ", max(1, width-len(strconv.FormatFloat(xmin, 'g', 4, 64))-len(strconv.FormatFloat(xmax, 'g', 4, 64)))) +
+		strconv.FormatFloat(xmax, 'g', 4, 64)
+	b.WriteString(xAxis)
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String(), nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV writes the series in long format with header "series,x,y".
+func WriteCSV(w io.Writer, series ...Series) error {
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("series,x,y\n"); err != nil {
+		return fmt.Errorf("plot: write header: %w", err)
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(s.Name, ",", ";")
+		for i := range s.X {
+			row := name + "," +
+				strconv.FormatFloat(s.X[i], 'g', -1, 64) + "," +
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64) + "\n"
+			if _, err := bw.WriteString(row); err != nil {
+				return fmt.Errorf("plot: write row: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("plot: flush csv: %w", err)
+	}
+	return nil
+}
+
+// SaveCSV writes the series to path, creating parent directories.
+func SaveCSV(path string, series ...Series) (err error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("plot: mkdir for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("plot: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("plot: close %s: %w", path, cerr)
+		}
+	}()
+	return WriteCSV(f, series...)
+}

@@ -1,0 +1,173 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func line(name string, n int, f func(i int) (float64, float64)) Series {
+	s := Series{Name: name, X: make([]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.X[i], s.Y[i] = f(i)
+	}
+	return s
+}
+
+func TestSeriesValidate(t *testing.T) {
+	good := line("a", 3, func(i int) (float64, float64) { return float64(i), float64(i) })
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+	bad := []Series{
+		{Name: "", X: []float64{1}, Y: []float64{1}},
+		{Name: "empty"},
+		{Name: "mismatch", X: []float64{1, 2}, Y: []float64{1}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("series %+v: want error", s)
+		}
+	}
+}
+
+func TestASCIIBasic(t *testing.T) {
+	s := line("ramp", 50, func(i int) (float64, float64) { return float64(i), float64(i) })
+	out, err := ASCII("test chart", 60, 10, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "ramp") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data glyphs")
+	}
+	if !strings.Contains(out, "49") { // axis bounds rendered
+		t.Error("missing axis label")
+	}
+	// Monotone ramp: first data row (top) should contain a glyph near the
+	// right edge, bottom row near the left.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if pos := strings.IndexByte(top, '*'); pos < len(top)/2 {
+		t.Errorf("ramp top-row glyph at %d, want right half", pos)
+	}
+}
+
+func TestASCIIMultiSeriesGlyphs(t *testing.T) {
+	a := line("a", 10, func(i int) (float64, float64) { return float64(i), 0 })
+	b := line("b", 10, func(i int) (float64, float64) { return float64(i), 1 })
+	out, err := ASCII("", 40, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("distinct glyphs not used")
+	}
+}
+
+func TestASCIIDegenerate(t *testing.T) {
+	// Constant series (zero y-range) must not divide by zero.
+	s := line("const", 5, func(i int) (float64, float64) { return float64(i), 7 })
+	if _, err := ASCII("", 30, 6, s); err != nil {
+		t.Errorf("constant series: %v", err)
+	}
+	// Single point.
+	p := Series{Name: "pt", X: []float64{1}, Y: []float64{2}}
+	if _, err := ASCII("", 30, 6, p); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+}
+
+func TestASCIIErrors(t *testing.T) {
+	s := line("a", 3, func(i int) (float64, float64) { return float64(i), 1 })
+	if _, err := ASCII("", 5, 5, s); err == nil {
+		t.Error("tiny chart: want error")
+	}
+	if _, err := ASCII("", 40, 8); err == nil {
+		t.Error("no series: want error")
+	}
+	nan := Series{Name: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}
+	if _, err := ASCII("", 40, 8, nan); err == nil {
+		t.Error("all-NaN series: want error")
+	}
+}
+
+func TestASCIISkipsNaN(t *testing.T) {
+	s := Series{
+		Name: "gappy",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{1, math.NaN(), 3},
+	}
+	if _, err := ASCII("", 40, 8, s); err != nil {
+		t.Errorf("series with NaN gap: %v", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	a := Series{Name: "with,comma", X: []float64{1, 2}, Y: []float64{3, 4}}
+	if err := WriteCSV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "series,x,y\nwith;comma,1,3\nwith;comma,2,4\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	if err := WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("no series: want error")
+	}
+	bad := Series{Name: "bad", X: []float64{1}, Y: nil}
+	if err := WriteCSV(&bytes.Buffer{}, bad); err == nil {
+		t.Error("invalid series: want error")
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.csv")
+	s := line("a", 3, func(i int) (float64, float64) { return float64(i), float64(i * i) })
+	if err := SaveCSV(path, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y\n") {
+		t.Errorf("file content = %q", data)
+	}
+}
+
+// Property: rendering never panics and always includes every series name,
+// for arbitrary finite data.
+func TestQuickASCIITotal(t *testing.T) {
+	f := func(ys []float64) bool {
+		if len(ys) == 0 {
+			return true
+		}
+		for i, y := range ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				ys[i] = 0
+			}
+		}
+		s := Series{Name: "q", X: make([]float64, len(ys)), Y: ys}
+		for i := range s.X {
+			s.X[i] = float64(i)
+		}
+		out, err := ASCII("t", 40, 8, s)
+		return err == nil && strings.Contains(out, "q")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseConfig() Config {
+	return Config{
+		Patches: 101,
+		Length:  100,
+		Alpha:   0,
+		Lambda:  1.0,
+		Eps1:    0,
+		Eps2:    0.2,
+		DS:      0,
+		DI:      0.5,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := baseConfig()
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"few patches", func(c *Config) { c.Patches = 2 }},
+		{"zero length", func(c *Config) { c.Length = 0 }},
+		{"negative alpha", func(c *Config) { c.Alpha = -1 }},
+		{"negative lambda", func(c *Config) { c.Lambda = -1 }},
+		{"negative eps", func(c *Config) { c.Eps2 = -1 }},
+		{"negative diffusion", func(c *Config) { c.DI = -1 }},
+		{"bad boundary", func(c *Config) { c.Boundary = 99 }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			c := good
+			tt.mutate(&c)
+			if _, err := New(c); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+// TestDiffusionConservesMass: with reactions off and Neumann boundaries,
+// diffusion must conserve the infected mass and flatten the profile.
+func TestDiffusionConservesMass(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Lambda = 0
+	cfg.Eps2 = 0
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := m.SeedCenter(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Simulate(ic, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := m.TotalI(sol)
+	for j, v := range mass {
+		if math.Abs(v-mass[0]) > 1e-8*mass[0] {
+			t.Fatalf("mass drift at sample %d: %v vs %v", j, v, mass[0])
+		}
+	}
+	// Profile flattens: final peak far below initial.
+	_, yf := sol.Last()
+	p := m.Patches()
+	var peak float64
+	for i := 0; i < p; i++ {
+		if yf[p+i] > peak {
+			peak = yf[p+i]
+		}
+	}
+	if peak > 0.5 {
+		t.Errorf("final peak %v, want diffusion to spread the pulse", peak)
+	}
+}
+
+// TestSymmetryPreserved: a centered seed on a symmetric domain must stay
+// mirror-symmetric.
+func TestSymmetryPreserved(t *testing.T) {
+	m, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := m.SeedCenter(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Simulate(ic, 20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, yf := sol.Last()
+	p := m.Patches()
+	for i := 0; i < p/2; i++ {
+		mirror := p - 1 - i
+		if math.Abs(yf[p+i]-yf[p+mirror]) > 1e-9 {
+			t.Fatalf("asymmetry at patch %d: %v vs %v", i, yf[p+i], yf[p+mirror])
+		}
+	}
+}
+
+// TestTravelingFront: a supercritical medium develops a front whose
+// arrival times increase monotonically with distance and whose measured
+// speed is of the order of the Fisher speed 2√(D·r).
+func TestTravelingFront(t *testing.T) {
+	m, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := m.SeedCenter(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Simulate(ic, 40, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, reached, err := m.FrontArrivalTimes(sol, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reached < m.Patches()/2 {
+		t.Fatalf("front reached only %d of %d patches", reached, m.Patches())
+	}
+	// Monotone arrivals rightward of the seed.
+	center := m.Patches() / 2
+	prev := times[center]
+	for i := center + 1; i < m.Patches() && !math.IsNaN(times[i]); i++ {
+		if times[i] < prev {
+			t.Fatalf("front arrival not monotone at patch %d", i)
+		}
+		prev = times[i]
+	}
+
+	speed, err := m.MeasureFrontSpeed(sol, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fisher := m.FisherSpeed(1)
+	if fisher <= 0 {
+		t.Fatal("expected supercritical medium")
+	}
+	if speed < fisher/2 || speed > 2*fisher {
+		t.Errorf("measured front speed %v not within 2x of Fisher speed %v", speed, fisher)
+	}
+}
+
+// TestSubcriticalNoFront: with blocking above the local growth rate the
+// rumor cannot invade; distant patches are never reached.
+func TestSubcriticalNoFront(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Eps2 = 1.5 // λ·S0 = 1 < ε2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := m.SeedCenter(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Simulate(ic, 40, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FisherSpeed(1) != 0 {
+		t.Error("subcritical medium reports positive Fisher speed")
+	}
+	if _, err := m.MeasureFrontSpeed(sol, 0.05); err == nil {
+		t.Error("subcritical medium: want ErrNoFront from speed fit")
+	}
+	_, reached, err := m.FrontArrivalTimes(sol, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reached > m.Patches()/4 {
+		t.Errorf("front reached %d patches despite subcritical medium", reached)
+	}
+}
+
+func TestPeriodicBoundary(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Boundary = Periodic
+	cfg.Lambda = 0
+	cfg.Eps2 = 0
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed at the edge: on a ring the mass wraps and still conserves.
+	ic := make([]float64, m.StateDim())
+	ic[m.Patches()] = 1 // I at patch 0
+	sol, err := m.Simulate(ic, 30, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := m.TotalI(sol)
+	if math.Abs(mass[len(mass)-1]-mass[0]) > 1e-8*mass[0] {
+		t.Errorf("ring mass drift: %v vs %v", mass[len(mass)-1], mass[0])
+	}
+	// Wrap-around: the patch left of the seed (last patch) is populated.
+	_, yf := sol.Last()
+	if yf[m.StateDim()-1] <= 0 {
+		t.Error("no wrap-around diffusion on the ring")
+	}
+}
+
+func TestRHSHandComputed(t *testing.T) {
+	cfg := Config{
+		Patches: 3, Length: 3,
+		Alpha: 0.1, Lambda: 2, Eps1: 0.3, Eps2: 0.4,
+		DS: 0.5, DI: 0.7,
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h = 1. State: S = [1, 2, 3], I = [0.1, 0.2, 0.3].
+	y := []float64{1, 2, 3, 0.1, 0.2, 0.3}
+	dydt := make([]float64, 6)
+	m.RHS(0, y, dydt)
+	// Patch 1 (interior): lapS = 1 − 4 + 3 = 0; lapI = 0.1 − 0.4 + 0.3 = 0.
+	wantS1 := 0.1 - 2*2*0.2 - 0.3*2
+	if math.Abs(dydt[1]-wantS1) > 1e-12 {
+		t.Errorf("dS_1 = %v, want %v", dydt[1], wantS1)
+	}
+	// Patch 0 (Neumann): lapS = (1 − 2 + 2) = 1; dS_0 = α − λSI − ε1·S + DS·1.
+	wantS0 := 0.1 - 2*1*0.1 - 0.3*1 + 0.5*1
+	if math.Abs(dydt[0]-wantS0) > 1e-12 {
+		t.Errorf("dS_0 = %v, want %v", dydt[0], wantS0)
+	}
+	// Patch 2 infected (Neumann right): lapI = 0.2 − 0.6 + 0.3 = −0.1.
+	wantI2 := 2*3*0.3 - 0.4*0.3 + 0.7*(-0.1)
+	if math.Abs(dydt[5]-wantI2) > 1e-12 {
+		t.Errorf("dI_2 = %v, want %v", dydt[5], wantI2)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Simulate([]float64{1}, 10, 0.1); err == nil {
+		t.Error("bad dimension: want error")
+	}
+	ic, err := m.SeedCenter(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Simulate(ic, -1, 0.1); err == nil {
+		t.Error("negative tf: want error")
+	}
+	if _, err := m.Simulate(ic, 1, 0); err == nil {
+		t.Error("zero step: want error")
+	}
+	if _, err := m.SeedCenter(-1, 0.1); err == nil {
+		t.Error("negative s0: want error")
+	}
+	if _, err := m.SeedCenter(1, 0); err == nil {
+		t.Error("zero i0: want error")
+	}
+	sol, err := m.Simulate(ic, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.FrontArrivalTimes(sol, 0); err == nil {
+		t.Error("zero threshold: want error")
+	}
+}
+
+func TestQuickDiffusionStability(t *testing.T) {
+	// Simulate with random (clamped) steps: the stability clamp must keep
+	// the state finite regardless of the requested step.
+	f := func(rawStep uint8) bool {
+		m, err := New(baseConfig())
+		if err != nil {
+			return false
+		}
+		ic, err := m.SeedCenter(1, 0.3)
+		if err != nil {
+			return false
+		}
+		step := 0.01 + float64(rawStep)/255*10 // absurd steps allowed
+		sol, err := m.Simulate(ic, 5, step)
+		if err != nil {
+			return false
+		}
+		_, yf := sol.Last()
+		for _, v := range yf {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSimulateFront(b *testing.B) {
+	m, err := New(baseConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ic, err := m.SeedCenter(1, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Simulate(ic, 10, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

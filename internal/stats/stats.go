@@ -1,0 +1,243 @@
+// Package stats provides the summary statistics, distribution distances and
+// discrete power-law fitting used to calibrate and verify the synthetic
+// Digg2009 network and to compare simulated trajectories.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"rumornet/internal/floats"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or an error if xs is empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return floats.Sum(xs) / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance of xs. It requires at least
+// two observations.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	s := floats.Clone(xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	w := pos - float64(lo)
+	return s[lo]*(1-w) + s[hi]*w, nil
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// RMSE returns the root-mean-square error between a and b.
+// It returns an error if the slices differ in length or are empty.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: RMSE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a))), nil
+}
+
+// MaxAbsDiff returns the L-infinity distance between a and b.
+func MaxAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: MaxAbsDiff length mismatch")
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	return floats.DistInf(a, b), nil
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic between
+// empirical samples a and b: the supremum distance between their empirical
+// CDFs.
+func KSDistance(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrEmpty
+	}
+	sa := floats.Clone(a)
+	sb := floats.Clone(b)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var (
+		i, j int
+		d    float64
+	)
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		// Advance past all observations equal to the smaller current value
+		// in BOTH samples so ties are handled symmetrically.
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It requires at least two points with non-constant x.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, 0, ErrEmpty
+	}
+	mx, _ := Mean(x)
+	my, _ := Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: LinearFit with constant x")
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx, nil
+}
+
+// PowerLawFit estimates the exponent gamma of a discrete power law
+// P(k) ∝ k^-gamma from integer observations ks with known kmin, using the
+// Clauset–Shalizi–Newman continuous approximation
+//
+//	gamma ≈ 1 + n / Σ ln(k_i / (kmin - 1/2)).
+//
+// Observations below kmin are ignored. It returns an error if fewer than two
+// observations survive.
+func PowerLawFit(ks []int, kmin int) (gamma float64, n int, err error) {
+	if kmin < 1 {
+		return 0, 0, errors.New("stats: PowerLawFit needs kmin >= 1")
+	}
+	var sum float64
+	for _, k := range ks {
+		if k < kmin {
+			continue
+		}
+		sum += math.Log(float64(k) / (float64(kmin) - 0.5))
+		n++
+	}
+	if n < 2 {
+		return 0, 0, ErrEmpty
+	}
+	return 1 + float64(n)/sum, n, nil
+}
+
+// Histogram counts observations into nbins equal-width bins over [lo, hi].
+// Values outside the range are clamped into the edge bins.
+func Histogram(xs []float64, lo, hi float64, nbins int) ([]int, error) {
+	if nbins <= 0 {
+		return nil, errors.New("stats: Histogram needs nbins > 0")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: Histogram needs hi > lo")
+	}
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		bin := int((x - lo) / width)
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		counts[bin]++
+	}
+	return counts, nil
+}
+
+// Summary bundles the basic description of a sample.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+	Median, P90  float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd := 0.0
+	if len(xs) > 1 {
+		sd, _ = StdDev(xs)
+	}
+	med, _ := Median(xs)
+	p90, _ := Quantile(xs, 0.9)
+	return Summary{
+		N:      len(xs),
+		Mean:   m,
+		StdDev: sd,
+		Min:    floats.Min(xs),
+		Max:    floats.Max(xs),
+		Median: med,
+		P90:    p90,
+	}, nil
+}

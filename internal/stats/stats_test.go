@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Errorf("Mean = %v, %v; want 2.5, nil", got, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	sd, _ := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(sd-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("Variance of single value: want error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil || math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, %v; want %v", tt.q, got, err, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(1.5): want error")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("Quantile(nil): want ErrEmpty")
+	}
+	one, _ := Quantile([]float64{42}, 0.3)
+	if one != 42 {
+		t.Errorf("Quantile single = %v, want 42", one)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil || math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, %v", got, err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty: want ErrEmpty")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	got, err := MaxAbsDiff([]float64{1, 5}, []float64{2, 2})
+	if err != nil || got != 3 {
+		t.Errorf("MaxAbsDiff = %v, %v; want 3, nil", got, err)
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, err := KSDistance(a, a)
+	if err != nil || d > 1e-12 {
+		t.Errorf("KS(a,a) = %v, %v; want 0", d, err)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	d, err := KSDistance(a, b)
+	if err != nil || math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS(disjoint) = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceKnown(t *testing.T) {
+	// Half of b shifted fully above a ⇒ KS = 0.5.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 30, 40}
+	d, _ := KSDistance(a, b)
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, icpt, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(icpt-1) > 1e-12 {
+		t.Errorf("LinearFit = %v, %v; want 2, 1", slope, icpt)
+	}
+	if _, _, err := LinearFit([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("constant x: want error")
+	}
+}
+
+func TestPowerLawFitRecoversExponent(t *testing.T) {
+	// Sample from a discrete power law with gamma = 2.5 via inverse CDF of
+	// the continuous approximation, then check the MLE recovers it.
+	// A discrete power law with exponent gamma is well approximated by
+	// rounding a continuous Pareto with xmin = kmin - 1/2 — exactly the
+	// shift the Clauset MLE assumes. The approximation is documented to be
+	// accurate for kmin >= 6 (Clauset–Shalizi–Newman 2009, §3.4).
+	rng := rand.New(rand.NewSource(7))
+	const (
+		gamma = 2.5
+		kmin  = 6
+	)
+	ks := make([]int, 20000)
+	for i := range ks {
+		u := rng.Float64()
+		x := (kmin - 0.5) * math.Pow(1-u, -1/(gamma-1))
+		ks[i] = int(math.Floor(x + 0.5))
+		if ks[i] < kmin {
+			ks[i] = kmin
+		}
+	}
+	got, n, err := PowerLawFit(ks, kmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ks) {
+		t.Errorf("n = %d, want %d", n, len(ks))
+	}
+	if math.Abs(got-gamma) > 0.15 {
+		t.Errorf("PowerLawFit gamma = %v, want ~%v", got, gamma)
+	}
+}
+
+func TestPowerLawFitErrors(t *testing.T) {
+	if _, _, err := PowerLawFit([]int{5, 6}, 0); err == nil {
+		t.Error("kmin=0: want error")
+	}
+	if _, _, err := PowerLawFit([]int{1}, 5); !errors.Is(err, ErrEmpty) {
+		t.Error("all filtered: want ErrEmpty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{0.1, 0.2, 0.6, 0.9, -5, 99}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("Histogram = %v, want [3 3]", counts)
+	}
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Error("nbins=0: want error")
+	}
+	if _, err := Histogram(nil, 1, 0, 3); err == nil {
+		t.Error("hi<=lo: want error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty: want ErrEmpty")
+	}
+	one, err := Summarize([]float64{7})
+	if err != nil || one.StdDev != 0 {
+		t.Errorf("single-element Summarize = %+v, %v", one, err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []uint8, q1, q2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a, b := float64(q1)/255, float64(q2)/255
+		if a > b {
+			a, b = b, a
+		}
+		qa, err1 := Quantile(xs, a)
+		qb, err2 := Quantile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return qa <= qb+1e-12 && qa >= sorted[0]-1e-12 && qb <= sorted[len(sorted)-1]+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KS distance is symmetric and within [0, 1].
+func TestQuickKSSymmetry(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		if len(ra) == 0 || len(rb) == 0 {
+			return true
+		}
+		a := make([]float64, len(ra))
+		b := make([]float64, len(rb))
+		for i, v := range ra {
+			a[i] = float64(v)
+		}
+		for i, v := range rb {
+			b[i] = float64(v)
+		}
+		d1, err1 := KSDistance(a, b)
+		d2, err2 := KSDistance(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RMSE(a, a) == 0.
+func TestQuickRMSEIdentity(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		for i, v := range raw {
+			a[i] = float64(v)
+		}
+		d, err := RMSE(a, a)
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
