@@ -18,7 +18,12 @@ import "testing"
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	cfg := ExperimentConfig{Seed: 1, Quick: true}
+	benchExperimentWorkers(b, id, 0)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	cfg := ExperimentConfig{Seed: 1, Quick: true, Workers: workers}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -97,6 +102,15 @@ func BenchmarkAblationHomogeneous(b *testing.B) { benchExperiment(b, "ablH") }
 // BenchmarkValidationABM cross-validates the mean-field ODE against the
 // agent-based Monte-Carlo simulation.
 func BenchmarkValidationABM(b *testing.B) { benchExperiment(b, "valABM") }
+
+// BenchmarkValidationABMSerial runs the Quick Digg-scale ABM cross-validation
+// pinned to one worker — the serial baseline for the fan-out speedup
+// recorded in BENCH_PR1.json (scripts/bench.sh).
+func BenchmarkValidationABMSerial(b *testing.B) { benchExperimentWorkers(b, "valABM", 1) }
+
+// BenchmarkValidationABMParallel runs the same workload with one worker per
+// CPU; its output is bit-identical to the serial run (determinism_test.go).
+func BenchmarkValidationABMParallel(b *testing.B) { benchExperimentWorkers(b, "valABM", 0) }
 
 // BenchmarkValidationDK validates the classical Daley–Kendall lineage
 // against the 20.3% final-size law.

@@ -13,6 +13,11 @@
 //	figgen                      # everything, full fidelity
 //	figgen -quick fig2a fig4c   # two figures at reduced fidelity
 //	figgen -out /tmp/results -seed 7 fig3a
+//	figgen -workers 4 valABM    # cap the per-experiment fan-out at 4 cores
+//
+// Experiments fan independent sub-runs (initial conditions, grid points,
+// Monte-Carlo trials) across -workers goroutines; the output is
+// bit-identical for every worker count, so -workers only changes speed.
 package main
 
 import (
@@ -37,12 +42,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("figgen", flag.ContinueOnError)
 	var (
-		out    = fs.String("out", "results", "directory for CSV output")
-		seed   = fs.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
-		quick  = fs.Bool("quick", false, "reduced fidelity (fewer groups, coarser grids)")
-		list   = fs.Bool("list", false, "list experiment ids and exit")
-		width  = fs.Int("width", 72, "ASCII chart width")
-		height = fs.Int("height", 16, "ASCII chart height")
+		out     = fs.String("out", "results", "directory for CSV output")
+		seed    = fs.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
+		quick   = fs.Bool("quick", false, "reduced fidelity (fewer groups, coarser grids)")
+		workers = fs.Int("workers", 0, "worker goroutines per experiment (0: all CPUs, 1: serial; output is identical for any value)")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		width   = fs.Int("width", 72, "ASCII chart width")
+		height  = fs.Int("height", 16, "ASCII chart height")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,7 +64,7 @@ func run(args []string) error {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 
 	for _, id := range ids {
 		start := time.Now()

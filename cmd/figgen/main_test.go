@@ -16,6 +16,13 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunWorkersFlag(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"-quick", "-workers", "2", "-out", out, "fig2a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)

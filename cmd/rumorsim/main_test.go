@@ -28,6 +28,13 @@ func TestRunEdgeListScenario(t *testing.T) {
 	}
 }
 
+func TestRunABMCrossValidation(t *testing.T) {
+	if err := run([]string{"-gamma", "1.8", "-kmax", "20", "-r0", "1.5", "-tf", "10",
+		"-abm-trials", "2", "-abm-nodes", "1500", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-edges", "/does/not/exist"}); err == nil {
 		t.Error("missing edge file: want error")

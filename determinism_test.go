@@ -1,0 +1,47 @@
+package rumornet
+
+// Determinism regression tests for the worker fan-out: every experiment must
+// produce bit-identical output regardless of the -workers setting, so
+// parallelism can never change a figure. The internal/abm package carries the
+// same guarantee for abm.Run and abm.MeanRun (see internal/abm/parallel_test.go);
+// these tests pin it end-to-end through the experiment registry.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func assertWorkerInvariant(t *testing.T, id string) {
+	t.Helper()
+	serial, err := RunExperiment(id, ExperimentConfig{Seed: 3, Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatalf("%s workers=1: %v", id, err)
+	}
+	parallel, err := RunExperiment(id, ExperimentConfig{Seed: 3, Quick: true, Workers: 8})
+	if err != nil {
+		t.Fatalf("%s workers=8: %v", id, err)
+	}
+	if !reflect.DeepEqual(serial.Series, parallel.Series) {
+		t.Errorf("%s: series differ between workers=1 and workers=8", id)
+	}
+	if !reflect.DeepEqual(serial.Scalars, parallel.Scalars) {
+		t.Errorf("%s: scalars differ between workers=1 and workers=8", id)
+	}
+}
+
+// TestFig3aWorkerInvariance pins the 10-IC trajectory fan-out of Fig. 3(a):
+// the random initial conditions are drawn before the fan-out, so the series
+// must match the serial run exactly.
+func TestFig3aWorkerInvariance(t *testing.T) {
+	assertWorkerInvariant(t, "fig3a")
+}
+
+// TestValABMWorkerInvariance pins the agent-based path: the per-node
+// transition sweep uses counter-based draws keyed by (seed, step, node), so
+// the Monte-Carlo trajectories are identical at any worker count.
+func TestValABMWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ABM cross-validation is slow; skipped with -short")
+	}
+	assertWorkerInvariant(t, "valABM")
+}

@@ -12,6 +12,14 @@
 //     equals the mean-field force λ(k_v)·Θ (see DESIGN.md). Differences
 //     from the ODE quantify the quenched-network correction the paper's
 //     model ignores.
+//
+// The per-step transition sweep is sharded across worker goroutines
+// (Config.Workers). Every Monte-Carlo transition draw comes from a
+// counter-based generator keyed by (run seed, step, node) rather than a
+// shared sequential stream, so a run's output is bit-identical for every
+// worker count — and runs that differ only in their Blocked set stay
+// perfectly paired, node by node. See DESIGN.md, "Concurrency &
+// determinism".
 package abm
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"rumornet/internal/degreedist"
 	"rumornet/internal/graph"
+	"rumornet/internal/par"
 )
 
 // Mode selects the contact structure.
@@ -67,6 +76,11 @@ type Config struct {
 	// nodes (e.g. the early voters of a Digg story) and overrides the
 	// random I0 seeding. Blocked nodes among the seeds are skipped.
 	Seeds []int
+	// Workers bounds the goroutines used for the per-step transition sweep
+	// (and, in MeanRun, the concurrent trials). Zero or negative selects
+	// runtime.NumCPU(); 1 runs fully serial. The sampled trajectory is
+	// bit-identical for every value.
+	Workers int
 }
 
 func (c Config) validate() error {
@@ -111,9 +125,34 @@ func (r *Result) PeakI() float64 {
 	return m
 }
 
+// shardSize is the fixed number of nodes per transition-sweep shard. It
+// depends only on this constant — never on the worker count — so per-shard
+// Θ deltas summed in shard order are bit-identical at any parallelism.
+const shardSize = 2048
+
+// splitmix64 is the SplitMix64 output mixer (Steele, Lea & Flood 2014): a
+// bijective avalanche function whose sequential stream passes BigCrush.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// transitionRand returns the uniform [0, 1) variate for node's transition
+// at step, as a pure function of (base, step, node). Keying per node (not
+// per shard) makes the draw independent of shard geometry and keeps paired
+// comparisons (same seed, different Blocked sets) aligned per node.
+func transitionRand(base uint64, step, node int) float64 {
+	x := base ^ splitmix64(uint64(step)*0xA24BAED4963EE407)
+	x = splitmix64(x + uint64(node)*0x9FB21C651E98DF25)
+	return float64(x>>11) * 0x1p-53
+}
+
 // Run simulates the agent-based process on g. Agents with zero out-degree
 // still participate (they can be infected; they simply contribute no
-// infectivity).
+// infectivity). The trajectory is a deterministic function of (g, cfg, rng
+// state) and does not depend on cfg.Workers.
 func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	if g == nil || g.NumNodes() == 0 {
 		return nil, errors.New("abm: empty graph")
@@ -127,8 +166,11 @@ func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	n := g.NumNodes()
 	nf := float64(n)
 
-	// Precompute per-node rates.
+	// Precompute per-node rates. omegaNode hoists the ω(k_u) evaluation out
+	// of the per-step loops: one KFunc call per node per run instead of one
+	// per infected node per step.
 	lambda := make([]float64, n)
+	omegaNode := make([]float64, n)    // ω(k_u)
 	omegaOverDeg := make([]float64, n) // ω(k_u)/outdeg(u), 0 for isolated
 	var meanK float64
 	for u := 0; u < n; u++ {
@@ -138,13 +180,14 @@ func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 		if lambda[u] < 0 {
 			return nil, fmt.Errorf("abm: λ(%g) negative", k)
 		}
+		om := cfg.Omega(k)
 		if k > 0 {
-			om := cfg.Omega(k)
 			if om < 0 {
 				return nil, fmt.Errorf("abm: ω(%g) negative", k)
 			}
 			omegaOverDeg[u] = om / k
 		}
+		omegaNode[u] = om
 	}
 	meanK /= nf
 	if meanK <= 0 {
@@ -196,6 +239,10 @@ func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 		return nil, errors.New("abm: nothing to seed (all candidates blocked)")
 	}
 
+	// All per-step randomness derives from this one draw; the sequential
+	// rng is not consulted again, so the sweep can shard freely.
+	baseSeed := rng.Uint64()
+
 	res := &Result{
 		T:     make([]float64, 0, cfg.Steps+1),
 		S:     make([]float64, 0, cfg.Steps+1),
@@ -207,70 +254,98 @@ func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	pRec2 := 1 - math.Exp(-cfg.Eps2*cfg.Dt)
 	next := make([]State, n)
 
-	record := func(t float64) {
-		var s, i, r int
-		var theta float64
-		for u, st := range state {
-			switch st {
-			case Susceptible:
-				s++
-			case Infected:
-				i++
-				theta += cfg.Omega(float64(g.OutDegree(u)))
-			case Recovered:
-				r++
-			}
+	// Incremental compartment counters replace the O(n) per-sample rescan:
+	// one initial scan, then per-shard deltas applied in shard order.
+	var sCnt, iCnt, rCnt int
+	var thetaSum float64 // Σ_{u infected} ω(k_u)
+	for u, st := range state {
+		switch st {
+		case Susceptible:
+			sCnt++
+		case Infected:
+			iCnt++
+			thetaSum += omegaNode[u]
+		case Recovered:
+			rCnt++
 		}
+	}
+	record := func(t float64) {
 		res.T = append(res.T, t)
-		res.S = append(res.S, float64(s)/nf)
-		res.I = append(res.I, float64(i)/nf)
-		res.R = append(res.R, float64(r)/nf)
-		res.Theta = append(res.Theta, theta/(nf*meanK))
+		res.S = append(res.S, float64(sCnt)/nf)
+		res.I = append(res.I, float64(iCnt)/nf)
+		res.R = append(res.R, float64(rCnt)/nf)
+		res.Theta = append(res.Theta, thetaSum/(nf*meanK))
 	}
 	record(0)
 
+	type delta struct {
+		dS, dI, dR int
+		dTheta     float64
+	}
+	workers := par.Default(cfg.Workers)
+	deltas := make([]delta, par.NumShards(n, shardSize))
+
 	for step := 1; step <= cfg.Steps; step++ {
-		// Global Θ for the annealed mode.
+		// Global Θ for the annealed mode, from the running counter.
 		var theta float64
 		if cfg.Mode == ModeAnnealed {
-			for u, st := range state {
-				if st == Infected {
-					theta += cfg.Omega(float64(g.OutDegree(u)))
-				}
-			}
-			theta /= nf * meanK
+			theta = thetaSum / (nf * meanK)
 		}
 
-		copy(next, state)
-		for v, st := range state {
-			switch st {
-			case Susceptible:
-				var force float64
-				if cfg.Mode == ModeAnnealed {
-					force = lambda[v] * theta
-				} else {
-					var local float64
-					for _, u := range g.InNeighbors(v) {
-						if state[u] == Infected {
-							local += omegaOverDeg[u]
+		err := par.ForEachShard(workers, n, shardSize, func(shard, lo, hi int) error {
+			var d delta
+			for v := lo; v < hi; v++ {
+				st := state[v]
+				next[v] = st
+				switch st {
+				case Susceptible:
+					var force float64
+					if cfg.Mode == ModeAnnealed {
+						force = lambda[v] * theta
+					} else {
+						var local float64
+						for _, u := range g.InNeighbors(v) {
+							if state[u] == Infected {
+								local += omegaOverDeg[u]
+							}
 						}
+						force = lambda[v] * local / meanK
 					}
-					force = lambda[v] * local / meanK
-				}
-				// Competing risks: infection at rate force, immunization
-				// at rate ε1.
-				pInf := 1 - math.Exp(-force*cfg.Dt)
-				switch u := rng.Float64(); {
-				case u < pInf:
-					next[v] = Infected
-				case u < pInf+(1-pInf)*pRec1:
-					next[v] = Recovered
-				}
-			case Infected:
-				if rng.Float64() < pRec2 {
-					next[v] = Recovered
+					// Competing risks: infection at rate force, immunization
+					// at rate ε1.
+					pInf := 1 - math.Exp(-force*cfg.Dt)
+					switch u := transitionRand(baseSeed, step, v); {
+					case u < pInf:
+						next[v] = Infected
+						d.dS--
+						d.dI++
+						d.dTheta += omegaNode[v]
+					case u < pInf+(1-pInf)*pRec1:
+						next[v] = Recovered
+						d.dS--
+						d.dR++
+					}
+				case Infected:
+					if transitionRand(baseSeed, step, v) < pRec2 {
+						next[v] = Recovered
+						d.dI--
+						d.dR++
+						d.dTheta -= omegaNode[v]
+					}
 				}
 			}
+			deltas[shard] = d
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for s := range deltas {
+			sCnt += deltas[s].dS
+			iCnt += deltas[s].dI
+			rCnt += deltas[s].dR
+			thetaSum += deltas[s].dTheta
+			deltas[s] = delta{}
 		}
 		state, next = next, state
 		record(float64(step) * cfg.Dt)
@@ -278,22 +353,59 @@ func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	return res, nil
 }
 
+// ErrTrialMismatch reports that a trial produced a trajectory whose length
+// diverges from the other trials' — MeanRun cannot average misaligned
+// samples.
+var ErrTrialMismatch = errors.New("abm: trial trajectory length mismatch")
+
+// checkTrialAlignment verifies every trial sampled the same number of
+// points as the first, so the sample-by-sample average below cannot index
+// past a shorter trajectory.
+func checkTrialAlignment(runs []*Result) error {
+	for _, r := range runs[1:] {
+		if len(r.T) != len(runs[0].T) {
+			return fmt.Errorf("%w: %d vs %d samples", ErrTrialMismatch, len(r.T), len(runs[0].T))
+		}
+	}
+	return nil
+}
+
 // MeanRun averages trials independent runs sample-by-sample, reducing Monte
-// Carlo noise for comparisons against the deterministic ODE.
+// Carlo noise for comparisons against the deterministic ODE. Each trial
+// runs from its own RNG derived from rng up front in trial order, so trials
+// execute concurrently (up to cfg.Workers at once) while the averaged
+// result stays bit-identical for every worker count.
 func MeanRun(g *graph.Graph, cfg Config, trials int, rng *rand.Rand) (*Result, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("abm: trials = %d must be positive", trials)
 	}
-	var acc *Result
-	for trial := 0; trial < trials; trial++ {
-		r, err := Run(g, cfg, rng)
-		if err != nil {
-			return nil, err
-		}
-		if acc == nil {
-			acc = r
-			continue
-		}
+	if rng == nil {
+		return nil, errors.New("abm: nil rand source")
+	}
+	trialSeeds := make([]int64, trials)
+	for t := range trialSeeds {
+		trialSeeds[t] = rng.Int63()
+	}
+
+	// Split the budget: prefer trial-level parallelism (perfectly
+	// independent work), give leftover workers to each trial's sweep.
+	workers := par.Default(cfg.Workers)
+	trialWorkers := min(workers, trials)
+	inner := cfg
+	inner.Workers = max(1, workers/trialWorkers)
+
+	runs, err := par.Map(trialWorkers, trials, func(t int) (*Result, error) {
+		return Run(g, inner, rand.New(rand.NewSource(trialSeeds[t])))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := checkTrialAlignment(runs); err != nil {
+		return nil, err
+	}
+	acc := runs[0]
+	for _, r := range runs[1:] {
 		for j := range acc.T {
 			acc.S[j] += r.S[j]
 			acc.I[j] += r.I[j]

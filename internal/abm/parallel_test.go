@@ -1,0 +1,171 @@
+package abm
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRunWorkerInvariance is the determinism regression for the sharded
+// sweep: the sampled trajectory must be bit-identical for every worker
+// count, in both contact modes, with and without blocking.
+func TestRunWorkerInvariance(t *testing.T) {
+	g := testGraph(t)
+	for _, mode := range []Mode{ModeAnnealed, ModeQuenched} {
+		cfg := testConfig(mode)
+		cfg.Steps = 40
+		blocked, err := g.TopKByOutDegree(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, withBlocked := range []bool{false, true} {
+			cfg.Blocked = nil
+			if withBlocked {
+				cfg.Blocked = blocked
+			}
+			var want *Result
+			for _, workers := range []int{1, 3, 8} {
+				cfg.Workers = workers
+				got, err := Run(g, cfg, rand.New(rand.NewSource(42)))
+				if err != nil {
+					t.Fatalf("mode=%d workers=%d: %v", mode, workers, err)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("mode=%d blocked=%v: workers=%d trajectory diverges from workers=1",
+						mode, withBlocked, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestMeanRunWorkerInvariance: concurrent trials must average to the exact
+// serial result.
+func TestMeanRunWorkerInvariance(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(ModeQuenched)
+	cfg.Steps = 30
+	cfg.Workers = 1
+	want, err := MeanRun(g, cfg, 4, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	got, err := MeanRun(g, cfg, 4, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("MeanRun workers=8 diverges from workers=1")
+	}
+}
+
+// TestPairedRuns: runs that differ only in their Blocked set share every
+// per-node draw, so a node untouched by the epidemic in both runs follows
+// the same fate — the property the targeting ablation's paired comparison
+// relies on.
+func TestPairedRuns(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(ModeQuenched)
+	cfg.Steps = 20
+	base, err := Run(g, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Blocked = []int{0} // one node: trajectories must stay almost identical
+	one, err := Run(g, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for j := range base.I {
+		if d := base.I[j] - one.I[j]; d > worst {
+			worst = d
+		} else if -d > worst {
+			worst = -d
+		}
+	}
+	// Unpaired streams would decorrelate the runs entirely; paired draws
+	// bound the gap by the single blocked node's sphere of influence.
+	if worst > 0.02 {
+		t.Errorf("blocking one node moved I(t) by %v: draws not paired", worst)
+	}
+}
+
+func TestMeanRunTrialMismatch(t *testing.T) {
+	if !errors.Is(ErrTrialMismatch, ErrTrialMismatch) {
+		t.Fatal("sentinel must match itself")
+	}
+	// The guard cannot trigger through the public API (all trials share
+	// cfg.Steps), so exercise the error path directly.
+	runs := []*Result{
+		{T: []float64{0, 1}, S: []float64{1, 1}, I: []float64{0, 0}, R: []float64{0, 0}, Theta: []float64{0, 0}},
+		{T: []float64{0}, S: []float64{1}, I: []float64{0}, R: []float64{0}, Theta: []float64{0}},
+	}
+	if err := checkTrialAlignment(runs); !errors.Is(err, ErrTrialMismatch) {
+		t.Errorf("misaligned trials: err = %v, want ErrTrialMismatch", err)
+	}
+}
+
+func TestTransitionRandRange(t *testing.T) {
+	var sum float64
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		u := transitionRand(12345, i%97, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("draw %d out of [0,1): %v", i, u)
+		}
+		sum += u
+	}
+	if mean := sum / draws; mean < 0.49 || mean > 0.51 {
+		t.Errorf("mean of %d draws = %v, want ≈ 0.5", draws, mean)
+	}
+}
+
+func benchmarkRun(b *testing.B, workers, steps int) {
+	g := testGraph(b)
+	cfg := testConfig(ModeQuenched)
+	cfg.Steps = steps
+	cfg.Workers = workers
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkABMQuenchedStep times the quenched transition sweep (the Digg
+// cross-validation hot path) serial vs parallel.
+func BenchmarkABMQuenchedStep(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkRun(b, 1, 50) })
+	b.Run("parallel", func(b *testing.B) { benchmarkRun(b, 0, 50) })
+}
+
+func benchmarkMeanRun(b *testing.B, workers int) {
+	g := testGraph(b)
+	cfg := testConfig(ModeQuenched)
+	cfg.Steps = 30
+	cfg.Workers = workers
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeanRun(g, cfg, 4, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeanRun times the Monte-Carlo trial fan-out serial vs parallel.
+func BenchmarkMeanRun(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkMeanRun(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkMeanRun(b, 0) })
+}

@@ -11,6 +11,7 @@ import (
 	"rumornet/internal/core"
 	"rumornet/internal/degreedist"
 	"rumornet/internal/graph"
+	"rumornet/internal/par"
 	"rumornet/internal/plot"
 )
 
@@ -35,24 +36,31 @@ func AblationAdjoint(cfg Config) (*Result, error) {
 		ID:    "ablA",
 		Title: "Ablation: exact vs paper-diagonal adjoint in the FBSM",
 	}
-	for _, variant := range []struct {
+	variants := []struct {
 		name    string
 		adjoint control.Adjoint
 	}{
 		{"exact adjoint", control.AdjointExact},
 		{"paper diagonal adjoint (Eq. 16)", control.AdjointDiagonal},
-	} {
+	}
+	pols, err := par.Map(cfg.workers(), len(variants), func(i int) (*control.Policy, error) {
 		opts := fig4Options(cfg)
-		opts.Adjoint = variant.adjoint
+		opts.Adjoint = variants[i].adjoint
 		pol, err := control.Optimize(m, ic, tf, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", variant.name, err)
+			return nil, fmt.Errorf("%s: %w", variants[i].name, err)
 		}
+		return pol, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range pols {
 		res.Series = append(res.Series,
-			plot.Series{Name: variant.name + " ε1", X: pol.Schedule.T, Y: pol.Schedule.Eps1},
-			plot.Series{Name: variant.name + " ε2", X: pol.Schedule.T, Y: pol.Schedule.Eps2},
+			plot.Series{Name: variants[i].name + " ε1", X: pol.Schedule.T, Y: pol.Schedule.Eps1},
+			plot.Series{Name: variants[i].name + " ε2", X: pol.Schedule.T, Y: pol.Schedule.Eps2},
 		)
-		res.setScalar("J:"+variant.name, pol.Cost.Total)
+		res.setScalar("J:"+variants[i].name, pol.Cost.Total)
 	}
 	exact := res.Scalars["J:exact adjoint"]
 	diag := res.Scalars["J:paper diagonal adjoint (Eq. 16)"]
@@ -91,10 +99,16 @@ func AblationInfectivity(cfg Config) (*Result, error) {
 		{"ω(k) = √k/(1+√k) (saturating, paper)", paperOmega()},
 	}
 	tf := fig2Tf
-	for _, v := range variants {
+	type calibrated struct {
+		scale float64
+		theta []float64
+		t     []float64
+	}
+	outs, err := par.Map(cfg.workers(), len(variants), func(i int) (calibrated, error) {
+		v := variants[i]
 		scale, err := core.CalibrateLambdaScale(d, fig2Alpha, fig2Eps1, fig2Eps2, fig2R0, v.omega)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return calibrated{}, fmt.Errorf("%s: %w", v.name, err)
 		}
 		m, err := core.NewModel(d, core.Params{
 			Alpha:  fig2Alpha,
@@ -104,21 +118,27 @@ func AblationInfectivity(cfg Config) (*Result, error) {
 			Omega:  v.omega,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return calibrated{}, fmt.Errorf("%s: %w", v.name, err)
 		}
 		ic, err := m.UniformIC(0.1)
 		if err != nil {
-			return nil, err
+			return calibrated{}, err
 		}
 		tr, err := m.Simulate(ic, tf, simOpts(cfg, tf))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return calibrated{}, fmt.Errorf("%s: %w", v.name, err)
 		}
+		return calibrated{scale: scale, theta: tr.ThetaSeries(), t: tr.T}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
 		res.Series = append(res.Series, plot.Series{
-			Name: v.name, X: tr.T, Y: tr.ThetaSeries(),
+			Name: variants[i].name, X: out.t, Y: out.theta,
 		})
-		res.setScalar("lambdaScale:"+v.name, scale)
-		res.setScalar("peakTheta:"+v.name, maxOf(tr.ThetaSeries()))
+		res.setScalar("lambdaScale:"+variants[i].name, out.scale)
+		res.setScalar("peakTheta:"+variants[i].name, maxOf(out.theta))
 	}
 	res.addNote("all variants share r0 = %.4f; the calibrated acceptance scale differs by "+
 		"orders of magnitude (linear ω needs the smallest λ because hubs carry E[k²] "+
@@ -152,37 +172,49 @@ func AblationHomogeneous(cfg Config) (*Result, error) {
 		{"extinction regime (fig2)", fig2Model, fig2Tf},
 		{"epidemic regime (fig3)", fig3Model, fig3Tf},
 	}
-	for _, reg := range regimes {
+	type regimeOut struct {
+		trH, trHom   *core.Trajectory
+		r0Het, r0Hom float64
+	}
+	outs, err := par.Map(cfg.workers(), len(regimes), func(i int) (regimeOut, error) {
+		reg := regimes[i]
 		m, err := reg.build(cfg)
 		if err != nil {
-			return nil, err
+			return regimeOut{}, err
 		}
 		h, err := classic.Homogenize(m)
 		if err != nil {
-			return nil, err
+			return regimeOut{}, err
 		}
 		icH, err := m.UniformIC(0.1)
 		if err != nil {
-			return nil, err
+			return regimeOut{}, err
 		}
 		icHom, err := h.UniformIC(0.1)
 		if err != nil {
-			return nil, err
+			return regimeOut{}, err
 		}
 		trH, err := m.Simulate(icH, reg.tf, simOpts(cfg, reg.tf))
 		if err != nil {
-			return nil, err
+			return regimeOut{}, err
 		}
 		trHom, err := h.Simulate(icHom, reg.tf, simOpts(cfg, reg.tf))
 		if err != nil {
-			return nil, err
+			return regimeOut{}, err
 		}
+		return regimeOut{trH: trH, trHom: trHom, r0Het: m.R0(), r0Hom: h.R0()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		reg := regimes[i]
 		res.Series = append(res.Series,
-			plot.Series{Name: reg.name + ": heterogeneous", X: trH.T, Y: trH.MeanISeries()},
-			plot.Series{Name: reg.name + ": homogeneous", X: trHom.T, Y: trHom.MeanISeries()},
+			plot.Series{Name: reg.name + ": heterogeneous", X: out.trH.T, Y: out.trH.MeanISeries()},
+			plot.Series{Name: reg.name + ": homogeneous", X: out.trHom.T, Y: out.trHom.MeanISeries()},
 		)
-		res.setScalar("r0 hetero "+reg.name, m.R0())
-		res.setScalar("r0 homog "+reg.name, h.R0())
+		res.setScalar("r0 hetero "+reg.name, out.r0Het)
+		res.setScalar("r0 homog "+reg.name, out.r0Hom)
 	}
 	res.addNote("collapsing the degree distribution to ⟨k⟩ changes the threshold and the " +
 		"transient — the heterogeneity the paper's model is built to capture")
@@ -261,7 +293,8 @@ func ValidationABM(cfg Config) (*Result, error) {
 			Lambda: lambda, Omega: omega,
 			Eps1: eps1, Eps2: eps2,
 			I0: i0, Dt: dt, Steps: steps,
-			Mode: mode.mode,
+			Mode:    mode.mode,
+			Workers: cfg.Workers,
 		}, trials, rng)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", mode.name, err)

@@ -16,6 +16,7 @@ import (
 	"rumornet/internal/core"
 	"rumornet/internal/degreedist"
 	"rumornet/internal/digg"
+	"rumornet/internal/par"
 	"rumornet/internal/plot"
 )
 
@@ -27,6 +28,13 @@ type Config struct {
 	// Quick trades fidelity for speed (fewer groups, coarser grids,
 	// fewer repetitions) — used by unit tests and quick benchmark runs.
 	Quick bool
+	// Workers bounds the goroutines used for an experiment's independent
+	// sub-runs (initial conditions, grid points, ablation variants) and is
+	// forwarded to the agent-based simulator. Zero or negative selects
+	// runtime.NumCPU(); 1 restores fully serial execution. Every
+	// experiment's output is bit-identical for every value (see DESIGN.md,
+	// "Concurrency & determinism").
+	Workers int
 }
 
 func (c Config) seed() int64 {
@@ -35,6 +43,8 @@ func (c Config) seed() int64 {
 	}
 	return c.Seed
 }
+
+func (c Config) workers() int { return par.Default(c.Workers) }
 
 // Result is the output of one experiment.
 type Result struct {

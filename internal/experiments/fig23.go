@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"rumornet/internal/core"
+	"rumornet/internal/par"
 	"rumornet/internal/plot"
 )
 
@@ -124,24 +125,40 @@ func distFigure(cfg Config, m *core.Model, id, title string, tf float64, plus bo
 	if cfg.Quick {
 		runs = 3
 	}
+	// Draw every IC serially first — the random stream is identical to the
+	// serial implementation's — then integrate the independent trajectories
+	// concurrently (Simulate builds one ode.RK4 stepper per call, so each
+	// worker steps in isolation) and collect the series in trial order.
 	rng := rand.New(rand.NewSource(cfg.seed()))
-	var worstFinal float64
-	for trial := 0; trial < runs; trial++ {
+	ics := make([][]float64, runs)
+	for trial := range ics {
 		ic, err := m.RandomIC(0.5, rng)
 		if err != nil {
 			return nil, err
 		}
-		tr, err := m.Simulate(ic, tf, simOpts(cfg, tf))
+		ics[trial] = ic
+	}
+	type trajDist struct {
+		t, dist []float64
+	}
+	dists, err := par.Map(cfg.workers(), runs, func(trial int) (trajDist, error) {
+		tr, err := m.Simulate(ics[trial], tf, simOpts(cfg, tf))
 		if err != nil {
-			return nil, err
+			return trajDist{}, err
 		}
-		dist := tr.DistTo(eq)
+		return trajDist{t: tr.T, dist: tr.DistTo(eq)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var worstFinal float64
+	for trial, d := range dists {
 		res.Series = append(res.Series, plot.Series{
 			Name: fmt.Sprintf("IC %d", trial+1),
-			X:    tr.T,
-			Y:    dist,
+			X:    d.t,
+			Y:    d.dist,
 		})
-		if f := dist[len(dist)-1]; f > worstFinal {
+		if f := d.dist[len(d.dist)-1]; f > worstFinal {
 			worstFinal = f
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"rumornet/internal/control"
 	"rumornet/internal/core"
+	"rumornet/internal/par"
 	"rumornet/internal/plot"
 )
 
@@ -177,21 +178,33 @@ func Fig4cCostComparison(cfg Config) (*Result, error) {
 		ID:    "fig4c",
 		Title: "Fig. 4(c): cost of heuristic vs optimized countermeasures (I(tf) ≤ 1e-4)",
 	}
-	heurCosts := make([]float64, 0, len(tfs))
-	optCosts := make([]float64, 0, len(tfs))
-	wins := 0
-	for _, tf := range tfs {
+	// Each grid point is an independent calibrate-plus-optimize problem on
+	// the shared immutable model; fan them out and fold in horizon order.
+	type costPair struct {
+		heur, opt float64
+	}
+	pairs, err := par.Map(cfg.workers(), len(tfs), func(i int) (costPair, error) {
+		tf := tfs[i]
 		heur, err := control.CalibrateHeuristic(m, ic, tf, fig4TargetI, opts.Grid, opts.Eps1Max, opts.Eps2Max, cost)
 		if err != nil {
-			return nil, fmt.Errorf("heuristic tf=%g: %w", tf, err)
+			return costPair{}, fmt.Errorf("heuristic tf=%g: %w", tf, err)
 		}
 		opt, err := control.OptimizeToTarget(m, ic, tf, fig4TargetI, opts)
 		if err != nil {
-			return nil, fmt.Errorf("optimized tf=%g: %w", tf, err)
+			return costPair{}, fmt.Errorf("optimized tf=%g: %w", tf, err)
 		}
-		heurCosts = append(heurCosts, heur.Cost.Running)
-		optCosts = append(optCosts, opt.Cost.Running)
-		if opt.Cost.Running < heur.Cost.Running {
+		return costPair{heur: heur.Cost.Running, opt: opt.Cost.Running}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	heurCosts := make([]float64, 0, len(tfs))
+	optCosts := make([]float64, 0, len(tfs))
+	wins := 0
+	for _, p := range pairs {
+		heurCosts = append(heurCosts, p.heur)
+		optCosts = append(optCosts, p.opt)
+		if p.opt < p.heur {
 			wins++
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rumornet/internal/control"
+	"rumornet/internal/par"
 	"rumornet/internal/plot"
 )
 
@@ -40,7 +41,8 @@ func AblationInstruments(cfg Config) (*Result, error) {
 		{"blocking only (ε1 ≈ 0)", disabled, fig4EpsMax},
 		{"joint (paper)", fig4EpsMax, fig4EpsMax},
 	}
-	for _, v := range variants {
+	pols, err := par.Map(cfg.workers(), len(variants), func(i int) (*control.Policy, error) {
+		v := variants[i]
 		opts := fig4Options(cfg)
 		opts.Eps1Max = v.eps1Max
 		opts.Eps2Max = v.eps2Max
@@ -48,6 +50,13 @@ func AblationInstruments(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
+		return pol, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range pols {
+		v := variants[i]
 		res.Series = append(res.Series, plot.Series{
 			Name: v.name + " mean I(t)",
 			X:    pol.Trajectory.T,

@@ -55,14 +55,15 @@ func AblationTargeting(cfg Config) (*Result, error) {
 	// A decisively supercritical rumor, so blocking strategy differences
 	// dominate Monte-Carlo noise.
 	base := abm.Config{
-		Lambda: degreedist.LambdaLinear(0.35),
-		Omega:  degreedist.OmegaSaturating(0.5, 0.5),
-		Eps1:   0.002,
-		Eps2:   0.05,
-		I0:     0.005,
-		Dt:     0.5,
-		Steps:  steps,
-		Mode:   abm.ModeQuenched,
+		Lambda:  degreedist.LambdaLinear(0.35),
+		Omega:   degreedist.OmegaSaturating(0.5, 0.5),
+		Eps1:    0.002,
+		Eps2:    0.05,
+		I0:      0.005,
+		Dt:      0.5,
+		Steps:   steps,
+		Mode:    abm.ModeQuenched,
+		Workers: cfg.Workers,
 	}
 
 	res := &Result{

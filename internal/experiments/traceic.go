@@ -127,7 +127,8 @@ func ExtensionTraceIC(cfg Config) (*Result, error) {
 		Eps1: eps1, Eps2: eps2,
 		I0: totalI, Seeds: seeds,
 		Dt: 0.5, Steps: steps,
-		Mode: abm.ModeQuenched,
+		Mode:    abm.ModeQuenched,
+		Workers: cfg.Workers,
 	}, rng)
 	if err != nil {
 		return nil, err

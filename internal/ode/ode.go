@@ -7,6 +7,12 @@
 // The package is the numeric substrate for the heterogeneous SIR rumor model
 // (internal/core) and the Pontryagin forward–backward sweep solver
 // (internal/control).
+//
+// Concurrency: Stepper implementations carry per-call scratch buffers and
+// are NOT safe for concurrent use. Steppers are cheap to construct — when
+// fanning integrations across goroutines (see internal/par and
+// internal/experiments), create one Stepper per goroutine rather than
+// sharing one.
 package ode
 
 import (

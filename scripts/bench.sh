@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh — record the parallel-ABM benchmark suite into BENCH_PR1.json.
+#
+# Runs the serial-vs-parallel pairs introduced with internal/par:
+#   - internal/abm: BenchmarkABMQuenchedStep{Serial,Parallel},
+#                   BenchmarkMeanRun{Serial,Parallel}
+#   - root:         BenchmarkValidationABM{Serial,Parallel}
+#     (the Quick Digg-scale end-to-end cross-validation)
+#
+# and writes machine metadata plus every benchmark line as JSON, so the
+# speedup at a given core count is reproducible. Usage:
+#
+#   scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkABMQuenchedStep|BenchmarkMeanRun' \
+	-benchmem ./internal/abm | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkValidationABM(Serial|Parallel)$' \
+	-benchmem . | tee -a "$tmp"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "goos": "%s",\n' "$(go env GOOS)"
+	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+	printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
+	printf '  "note": "speedup = serial ns_per_op / parallel ns_per_op of each pair; parallel gains require cpus > 1 and the outputs are bit-identical either way",\n'
+	printf '  "benchmarks": [\n'
+	awk '/^Benchmark/ {
+		sep = first++ ? ",\n" : ""
+		printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			sep, $1, $2, $3, $5, $7
+	} END { print "" }' "$tmp"
+	printf '  ]\n'
+	printf '}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,27 @@
+#!/bin/sh
+# verify.sh — the repository's verification gates (see ROADMAP.md).
+#
+#   tier 1: go build ./... && go test ./...
+#   tier 2: go vet ./... && go test -race ./...
+#
+# Tier 2 exists because the worker fan-out (internal/par, internal/abm,
+# internal/experiments) must stay data-race free; -race roughly 10x-es the
+# runtime, so it is a separate gate. Usage:
+#
+#   scripts/verify.sh         # tier 1 only
+#   scripts/verify.sh -race   # tier 1 + tier 2
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + test"
+go build ./...
+go test ./...
+
+if [ "${1:-}" = "-race" ]; then
+	echo "== tier 2: vet + race"
+	go vet ./...
+	go test -race ./...
+fi
+
+echo "verify: ok"
