@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"rumornet/internal/cli"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-wat"}, 2},
+		{"friends and edges together", []string{"-friends", "a.csv", "-edges", "b.txt"}, 2},
+		{"missing friends file", []string{"-friends", "/does/not/exist"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cli.Code(run(tc.args)); got != tc.code {
+				t.Errorf("run(%v): exit code %d, want %d", tc.args, got, tc.code)
+			}
+		})
+	}
+}

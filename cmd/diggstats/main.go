@@ -15,15 +15,13 @@ import (
 	"math/rand"
 	"os"
 
+	"rumornet/internal/cli"
 	"rumornet/internal/digg"
 	"rumornet/internal/graph"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "diggstats:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Exit("diggstats", run(os.Args[1:])))
 }
 
 func run(args []string) error {
@@ -34,8 +32,11 @@ func run(args []string) error {
 		save    = fs.String("save", "", "write the (synthetic) network as an edge list")
 		seed    = fs.Int64("seed", 1, "random seed for the synthetic generator")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.WrapParse(fs.Parse(args)); err != nil {
 		return err
+	}
+	if *friends != "" && *edges != "" {
+		return cli.Usagef("-friends and -edges are mutually exclusive")
 	}
 
 	var (

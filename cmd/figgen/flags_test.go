@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"rumornet/internal/cli"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-nope"}, 2},
+		{"negative workers", []string{"-workers", "-1", "-list"}, 2},
+		{"width too small", []string{"-width", "5", "-list"}, 2},
+		{"height too small", []string{"-height", "1", "-list"}, 2},
+		{"unknown experiment", []string{"-quick", "no-such-experiment"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cli.Code(run(tc.args)); got != tc.code {
+				t.Errorf("run(%v): exit code %d, want %d", tc.args, got, tc.code)
+			}
+		})
+	}
+}

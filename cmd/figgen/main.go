@@ -28,15 +28,13 @@ import (
 	"sort"
 	"time"
 
+	"rumornet/internal/cli"
 	"rumornet/internal/experiments"
 	"rumornet/internal/plot"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "figgen:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Exit("figgen", run(os.Args[1:])))
 }
 
 func run(args []string) error {
@@ -50,8 +48,14 @@ func run(args []string) error {
 		width   = fs.Int("width", 72, "ASCII chart width")
 		height  = fs.Int("height", 16, "ASCII chart height")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.WrapParse(fs.Parse(args)); err != nil {
 		return err
+	}
+	switch {
+	case *workers < 0:
+		return cli.Usagef("-workers = %d must be non-negative", *workers)
+	case *width < 16 || *height < 4:
+		return cli.Usagef("chart size %dx%d too small (want width ≥ 16, height ≥ 4)", *width, *height)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

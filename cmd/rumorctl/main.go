@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 
+	"rumornet/internal/cli"
 	"rumornet/internal/control"
 	"rumornet/internal/core"
 	"rumornet/internal/degreedist"
@@ -28,10 +29,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "rumorctl:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Exit("rumorctl", run(os.Args[1:])))
 }
 
 // evaluateSaved replays a previously exported schedule and reports its
@@ -83,8 +81,24 @@ func run(args []string) error {
 		saveJSON         = fs.String("save-json", "", "write the optimized schedule as JSON to this file")
 		loadJSON         = fs.String("load-json", "", "skip optimization; evaluate a saved schedule against the scenario")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.WrapParse(fs.Parse(args)); err != nil {
 		return err
+	}
+	switch {
+	case *tf <= 0:
+		return cli.Usagef("-tf = %g must be positive", *tf)
+	case *i0 <= 0 || *i0 >= 1:
+		return cli.Usagef("-i0 = %g must be in (0, 1)", *i0)
+	case *c1 <= 0 || *c2 <= 0:
+		return cli.Usagef("-c1 = %g and -c2 = %g must be positive", *c1, *c2)
+	case *epsMax <= 0 || *epsMax > 1:
+		return cli.Usagef("-epsmax = %g must be in (0, 1]", *epsMax)
+	case *grid < 1:
+		return cli.Usagef("-grid = %d must be at least 1", *grid)
+	case *target < 0:
+		return cli.Usagef("-target = %g must be non-negative", *target)
+	case *groups < 0:
+		return cli.Usagef("-groups = %d must be non-negative", *groups)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

@@ -1,0 +1,131 @@
+// Command rumord serves rumor-propagation simulations over a JSON HTTP API.
+//
+// Usage:
+//
+//	rumord [flags]
+//
+// The daemon keeps the calibrated synthetic Digg2009 scenario resident,
+// accepts uploaded degree-distribution tables, and executes ODE, threshold,
+// agent-based and FBSM control-optimization jobs asynchronously on a bounded
+// worker pool with a content-addressed result cache:
+//
+//	rumord -addr :8080 &
+//	curl -s localhost:8080/v1/scenarios | jq
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"type":"ode","params":{"r0":0.7,"tf":150}}' | jq -r .id
+//	curl -s localhost:8080/v1/jobs/j-000001 | jq
+//
+// SIGINT/SIGTERM stop intake and let queued and running jobs finish, bounded
+// by -drain-grace; jobs still running after the grace period are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rumornet/internal/cli"
+	"rumornet/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(cli.Exit("rumord", run(ctx, os.Args[1:], os.Stdout, nil)))
+}
+
+// run starts the daemon and blocks until ctx is cancelled or the listener
+// fails. The optional ready callback receives the bound address once the
+// server is listening (tests use it to learn an ephemeral port).
+func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "job-executing goroutines (0: all CPUs)")
+		innerWorkers = fs.Int("inner-workers", 1, "per-job fan-out goroutines for ABM trials (0: all CPUs)")
+		queueDepth   = fs.Int("queue", 64, "bounded job-queue depth; submissions beyond it get 503")
+		cacheSize    = fs.Int("cache", 256, "result-cache entries (-1 disables caching)")
+		timeout      = fs.Duration("timeout", 60*time.Second, "default per-job timeout")
+		maxTimeout   = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested per-job timeouts")
+		drainGrace   = fs.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		seed         = fs.Int64("seed", 1, "seed for the built-in synthetic Digg2009 scenario")
+	)
+	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	switch {
+	case *workers < 0:
+		return cli.Usagef("-workers = %d must be non-negative", *workers)
+	case *innerWorkers < 0:
+		return cli.Usagef("-inner-workers = %d must be non-negative", *innerWorkers)
+	case *queueDepth < 1:
+		return cli.Usagef("-queue = %d must be at least 1", *queueDepth)
+	case *timeout <= 0:
+		return cli.Usagef("-timeout = %s must be positive", *timeout)
+	case *maxTimeout <= 0:
+		return cli.Usagef("-max-timeout = %s must be positive", *maxTimeout)
+	case *timeout > *maxTimeout:
+		return cli.Usagef("-timeout = %s exceeds -max-timeout = %s", *timeout, *maxTimeout)
+	case *drainGrace < 0:
+		return cli.Usagef("-drain-grace = %s must be non-negative", *drainGrace)
+	}
+
+	svc, err := service.New(service.Config{
+		Workers:        *workers,
+		InnerWorkers:   *innerWorkers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(out, "rumord: listening on %s (%d workers, queue %d, cache %d)\n",
+		ln.Addr(), svc.Stats().Workers, *queueDepth, *cacheSize)
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop intake, finish queued and in-flight jobs, then
+	// stop the HTTP server; cancel whatever is left when the grace expires.
+	fmt.Fprintf(out, "rumord: shutting down, draining for up to %s\n", *drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := svc.Drain(grace); err != nil {
+		fmt.Fprintf(out, "rumord: %v; cancelling remaining jobs\n", err)
+	}
+	if err := srv.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(out, "rumord: bye")
+	return nil
+}

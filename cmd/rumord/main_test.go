@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rumornet/internal/cli"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-nope"}, 2},
+		{"positional args", []string{"extra"}, 2},
+		{"negative workers", []string{"-workers", "-1"}, 2},
+		{"negative inner workers", []string{"-inner-workers", "-1"}, 2},
+		{"zero queue", []string{"-queue", "0"}, 2},
+		{"zero timeout", []string{"-timeout", "0s"}, 2},
+		{"timeout above cap", []string{"-timeout", "20m", "-max-timeout", "10m"}, 2},
+		{"negative drain grace", []string{"-drain-grace", "-1s"}, 2},
+		{"unparseable address", []string{"-addr", "999.999.999.999:1"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, io.Discard, nil)
+			if got := cli.Code(err); got != tc.code {
+				t.Errorf("run(%v): exit code %d (err %v), want %d", tc.args, got, err, tc.code)
+			}
+		})
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, performs a
+// submit→poll round trip over real TCP, then stops it via context
+// cancellation (the same path SIGTERM takes) and checks the graceful exit.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-grace", "10s"},
+			&out, func(a net.Addr) { addrCh <- a })
+	}()
+
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+
+	// Register a small scenario and run one job end to end.
+	post := func(path, body string) (int, []byte) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+	if code, raw := post("/v1/scenarios", `{"name":"tiny","degrees":[2,4,8],"probs":[0.5,0.3,0.2]}`); code != http.StatusCreated {
+		t.Fatalf("register scenario: %d %s", code, raw)
+	}
+	code, raw := post("/v1/jobs", `{"type":"threshold","scenario":"tiny"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status != "succeeded" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q (%s)", job.Status, job.Error)
+		}
+		if job.Status == "failed" || job.Status == "cancelled" {
+			t.Fatalf("job %s: %s", job.Status, job.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "bye") {
+		t.Errorf("daemon log missing lifecycle lines:\n%s", out.String())
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = run(context.Background(), []string{"-addr", ln.Addr().String()}, io.Discard, nil)
+	if err == nil || cli.Code(err) != 1 {
+		t.Fatalf("bind to occupied port: err %v, want runtime failure", err)
+	}
+}

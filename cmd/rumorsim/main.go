@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"rumornet/internal/abm"
+	"rumornet/internal/cli"
 	"rumornet/internal/core"
 	"rumornet/internal/degreedist"
 	"rumornet/internal/digg"
@@ -39,10 +40,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "rumorsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Exit("rumorsim", run(os.Args[1:])))
 }
 
 func run(args []string) error {
@@ -66,8 +64,20 @@ func run(args []string) error {
 		abmNodes  = fs.Int("abm-nodes", 20000, "agents in the synthetic validation graph for -abm-trials")
 		workers   = fs.Int("workers", 0, "worker goroutines for the ABM fan-out (0: all CPUs, 1: serial; output is identical for any value)")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.WrapParse(fs.Parse(args)); err != nil {
 		return err
+	}
+	switch {
+	case *tf <= 0:
+		return cli.Usagef("-tf = %g must be positive", *tf)
+	case *i0 <= 0 || *i0 >= 1:
+		return cli.Usagef("-i0 = %g must be in (0, 1)", *i0)
+	case *workers < 0:
+		return cli.Usagef("-workers = %d must be non-negative", *workers)
+	case *abmTrials < 0:
+		return cli.Usagef("-abm-trials = %d must be non-negative", *abmTrials)
+	case *abmTrials > 0 && *abmNodes < 2:
+		return cli.Usagef("-abm-nodes = %d must be at least 2", *abmNodes)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

@@ -23,6 +23,7 @@
 package abm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -154,6 +155,14 @@ func transitionRand(base uint64, step, node int) float64 {
 // infectivity). The trajectory is a deterministic function of (g, cfg, rng
 // state) and does not depend on cfg.Workers.
 func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
+	return RunCtx(context.Background(), g, cfg, rng)
+}
+
+// RunCtx is Run with cancellation: ctx is polled once per time step, so a
+// long Monte-Carlo run aborts promptly when its job times out or is
+// cancelled. Cancellation does not perturb the deterministic trajectory of
+// runs that complete.
+func RunCtx(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	if g == nil || g.NumNodes() == 0 {
 		return nil, errors.New("abm: empty graph")
 	}
@@ -286,6 +295,9 @@ func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	deltas := make([]delta, par.NumShards(n, shardSize))
 
 	for step := 1; step <= cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("abm: run cancelled at step %d: %w", step, err)
+		}
 		// Global Θ for the annealed mode, from the running counter.
 		var theta float64
 		if cfg.Mode == ModeAnnealed {
@@ -376,6 +388,12 @@ func checkTrialAlignment(runs []*Result) error {
 // execute concurrently (up to cfg.Workers at once) while the averaged
 // result stays bit-identical for every worker count.
 func MeanRun(g *graph.Graph, cfg Config, trials int, rng *rand.Rand) (*Result, error) {
+	return MeanRunCtx(context.Background(), g, cfg, trials, rng)
+}
+
+// MeanRunCtx is MeanRun with cancellation threaded into every trial; the
+// first trial to observe the cancelled context aborts the whole fan-out.
+func MeanRunCtx(ctx context.Context, g *graph.Graph, cfg Config, trials int, rng *rand.Rand) (*Result, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("abm: trials = %d must be positive", trials)
 	}
@@ -395,7 +413,7 @@ func MeanRun(g *graph.Graph, cfg Config, trials int, rng *rand.Rand) (*Result, e
 	inner.Workers = max(1, workers/trialWorkers)
 
 	runs, err := par.Map(trialWorkers, trials, func(t int) (*Result, error) {
-		return Run(g, inner, rand.New(rand.NewSource(trialSeeds[t])))
+		return RunCtx(ctx, g, inner, rand.New(rand.NewSource(trialSeeds[t])))
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,53 @@
+package abm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestRunCtxCancelled(t *testing.T) {
+	g := testGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, g, testConfig(ModeQuenched), rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestMeanRunCtxCancelled(t *testing.T) {
+	g := testGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := testConfig(ModeQuenched)
+	cfg.Workers = 2
+	_, err := MeanRunCtx(ctx, g, cfg, 4, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MeanRunCtx with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// TestRunBackgroundMatchesRunCtx pins that the ctx plumbing did not change
+// the sampled trajectories: Run and RunCtx(background) are bit-identical.
+func TestRunBackgroundMatchesRunCtx(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(ModeQuenched)
+	a, err := Run(g, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), g, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.I) != len(b.I) {
+		t.Fatalf("length mismatch: %d vs %d", len(a.I), len(b.I))
+	}
+	for i := range a.I {
+		if a.I[i] != b.I[i] {
+			t.Fatalf("trajectory diverged at step %d: %g vs %g", i, a.I[i], b.I[i])
+		}
+	}
+}

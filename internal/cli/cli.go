@@ -1,0 +1,62 @@
+// Package cli centralizes the exit-code discipline of the cmd/ binaries:
+//
+//	0 — success (including -h/-help via flag.ErrHelp)
+//	1 — runtime failure (I/O, solver divergence, service errors)
+//	2 — usage failure (unknown flags, out-of-range flag values)
+//
+// Commands return errors from a testable run() function; main exits with
+// os.Exit(cli.Exit(name, err)). Flag-validation failures are built with
+// Usagef (or wrapped with ErrUsage) so they map to exit code 2, matching
+// the convention of the flag package and most Unix tools.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrUsage marks an error as a command-line usage failure (exit code 2).
+var ErrUsage = errors.New("usage")
+
+// Usagef builds a usage error (exit code 2) with a formatted message.
+func Usagef(format string, a ...any) error {
+	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, a...))
+}
+
+// WrapParse normalizes a flag.FlagSet.Parse error: flag.ErrHelp passes
+// through untouched (exit 0, help already printed), anything else becomes a
+// usage error (exit 2, message already printed by the FlagSet).
+func WrapParse(err error) error {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrUsage, err)
+}
+
+// Code maps an error from a command's run function to its exit code.
+func Code(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, ErrUsage):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Exit reports err on stderr (unless nil or help) and returns the exit
+// code for os.Exit. It is split from os.Exit so tests can assert codes.
+func Exit(name string, err error) int {
+	return exitTo(os.Stderr, name, err)
+}
+
+func exitTo(w io.Writer, name string, err error) int {
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(w, "%s: %v\n", name, err)
+	}
+	return Code(err)
+}

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"help", flag.ErrHelp, 0},
+		{"wrapped help", fmt.Errorf("parse: %w", flag.ErrHelp), 0},
+		{"usage", Usagef("-tf must be positive, got %g", -1.0), 2},
+		{"wrapped usage", fmt.Errorf("rumorsim: %w", ErrUsage), 2},
+		{"runtime", errors.New("disk on fire"), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Code(c.err); got != c.want {
+				t.Errorf("Code(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+func TestUsagefMessage(t *testing.T) {
+	err := Usagef("bad value %d", 7)
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("Usagef result does not wrap ErrUsage: %v", err)
+	}
+	if want := "bad value 7"; !strings.Contains(err.Error(), want) {
+		t.Errorf("Usagef message %q missing %q", err, want)
+	}
+}
+
+func TestWrapParse(t *testing.T) {
+	if err := WrapParse(nil); err != nil {
+		t.Errorf("WrapParse(nil) = %v", err)
+	}
+	if err := WrapParse(flag.ErrHelp); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("WrapParse(ErrHelp) = %v, want ErrHelp", err)
+	}
+	if err := WrapParse(errors.New("flag provided but not defined")); Code(err) != 2 {
+		t.Errorf("WrapParse(parse error): Code = %d, want 2", Code(err))
+	}
+}
+
+func TestExitWritesStderrMessage(t *testing.T) {
+	var buf strings.Builder
+	if got := exitTo(&buf, "toolname", errors.New("boom")); got != 1 {
+		t.Errorf("exit code = %d, want 1", got)
+	}
+	if out := buf.String(); !strings.Contains(out, "toolname: boom") {
+		t.Errorf("stderr %q missing prefixed message", out)
+	}
+	buf.Reset()
+	if got := exitTo(&buf, "toolname", flag.ErrHelp); got != 0 || buf.Len() != 0 {
+		t.Errorf("help: code %d output %q, want 0 and empty", got, buf.String())
+	}
+}

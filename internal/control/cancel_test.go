@@ -1,0 +1,61 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestOptimizeCtxCancelled(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Grid: testGrid, Eps1Max: testEps1Max, Eps2Max: testEps2Max, Cost: testCost}
+	if _, err := OptimizeCtx(ctx, m, ic, testTf, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimizeCtx with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestOptimizeCtxDeadline(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// A fine grid guarantees the deadline fires mid-sweep, so the error
+	// must surface from inside the forward/backward integrations.
+	opts := Options{Grid: 100000, Eps1Max: testEps1Max, Eps2Max: testEps2Max, Cost: testCost}
+	if _, err := OptimizeCtx(ctx, m, ic, testTf, opts); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("OptimizeCtx past deadline: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestEvaluateCostCtxCancelled(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	s, err := NewConstantSchedule(testTf, testGrid, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := EvaluateCostCtx(ctx, m, ic, s, testCost); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateCostCtx with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// TestOptimizeBackgroundUnaffected pins the compatibility contract: the
+// ctx-free wrappers behave exactly as before the context plumbing.
+func TestOptimizeBackgroundUnaffected(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	opts := Options{Grid: 50, MaxIter: 3, Eps1Max: testEps1Max, Eps2Max: testEps2Max, Cost: testCost}
+	pol, err := Optimize(m, ic, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Schedule.T) != 51 {
+		t.Errorf("schedule nodes = %d, want 51", len(pol.Schedule.T))
+	}
+}

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"context"
 	"fmt"
 
 	"rumornet/internal/core"
@@ -35,6 +36,12 @@ type Breakdown struct {
 // EvaluateCost simulates the model under the schedule and evaluates the
 // objective (13) by trapezoidal quadrature on the schedule's grid.
 func EvaluateCost(m *core.Model, ic []float64, sched *Schedule, cost Cost) (Breakdown, *core.Trajectory, error) {
+	return EvaluateCostCtx(context.Background(), m, ic, sched, cost)
+}
+
+// EvaluateCostCtx is EvaluateCost with cancellation threaded into the
+// forward simulation.
+func EvaluateCostCtx(ctx context.Context, m *core.Model, ic []float64, sched *Schedule, cost Cost) (Breakdown, *core.Trajectory, error) {
 	var bd Breakdown
 	if err := cost.validate(); err != nil {
 		return bd, nil, err
@@ -42,7 +49,7 @@ func EvaluateCost(m *core.Model, ic []float64, sched *Schedule, cost Cost) (Brea
 	if err := sched.Validate(); err != nil {
 		return bd, nil, err
 	}
-	tr, err := simulateOnGrid(m, ic, sched)
+	tr, err := simulateOnGrid(ctx, m, ic, sched)
 	if err != nil {
 		return bd, nil, err
 	}
@@ -72,12 +79,12 @@ func EvaluateCost(m *core.Model, ic []float64, sched *Schedule, cost Cost) (Brea
 
 // simulateOnGrid integrates the controlled model with RK4 using exactly the
 // schedule's grid steps, so trajectory samples align with schedule nodes.
-func simulateOnGrid(m *core.Model, ic []float64, sched *Schedule) (*core.Trajectory, error) {
+func simulateOnGrid(ctx context.Context, m *core.Model, ic []float64, sched *Schedule) (*core.Trajectory, error) {
 	if len(ic) != m.StateDim() {
 		return nil, fmt.Errorf("control: initial condition dimension %d, want %d", len(ic), m.StateDim())
 	}
 	h := sched.T[1] - sched.T[0]
-	tr, err := m.Simulate(ic, sched.Horizon(), &core.SimOptions{
+	tr, err := m.SimulateCtx(ctx, ic, sched.Horizon(), &core.SimOptions{
 		Step:   h,
 		Record: 1,
 		Eps1At: sched.Eps1At,

@@ -2,6 +2,7 @@ package control
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,11 +46,12 @@ func HamiltonianSeries(m *core.Model, ic []float64, pol *Policy, opts Options) (
 		return nil, err
 	}
 	sched := pol.Schedule
-	tr, err := simulateOnGrid(m, ic, sched)
+	ctx := context.Background()
+	tr, err := simulateOnGrid(ctx, m, ic, sched)
 	if err != nil {
 		return nil, fmt.Errorf("control: hamiltonian forward pass: %w", err)
 	}
-	psi, phi, err := backwardSweep(m, tr, sched, opts)
+	psi, phi, err := backwardSweep(ctx, m, tr, sched, opts)
 	if err != nil {
 		return nil, fmt.Errorf("control: hamiltonian backward pass: %w", err)
 	}

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -106,6 +107,14 @@ type Policy struct {
 // Optimize runs the forward–backward sweep method for the optimal
 // countermeasure problem over (0, tf] from the packed initial condition ic.
 func Optimize(m *core.Model, ic []float64, tf float64, opts Options) (*Policy, error) {
+	return OptimizeCtx(context.Background(), m, ic, tf, opts)
+}
+
+// OptimizeCtx is Optimize with cancellation: ctx is polled between sweep
+// stages and inside the forward/backward integrations, so a runaway sweep
+// (e.g. a pathological c1/c2 choice that never converges) can be
+// interrupted programmatically instead of spinning until MaxIter.
+func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, opts Options) (*Policy, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -125,15 +134,19 @@ func Optimize(m *core.Model, ic []float64, tf float64, opts Options) (*Policy, e
 	policy := &Policy{}
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("control: sweep %d: %w", iter, err)
+		}
+
 		// (1) Forward sweep: state under current controls.
-		tr, err := simulateOnGrid(m, ic, sched)
+		tr, err := simulateOnGrid(ctx, m, ic, sched)
 		if err != nil {
 			return nil, fmt.Errorf("control: forward sweep %d: %w", iter, err)
 		}
 
 		// (2) Backward sweep: co-states with transversality
 		// ψ(tf) = 0, φ(tf) = w.
-		psi, phi, err := backwardSweep(m, tr, sched, opts)
+		psi, phi, err := backwardSweep(ctx, m, tr, sched, opts)
 		if err != nil {
 			return nil, fmt.Errorf("control: backward sweep %d: %w", iter, err)
 		}
@@ -180,7 +193,7 @@ func Optimize(m *core.Model, ic []float64, tf float64, opts Options) (*Policy, e
 		}
 	}
 
-	bd, tr, err := EvaluateCost(m, ic, sched, opts.Cost)
+	bd, tr, err := EvaluateCostCtx(ctx, m, ic, sched, opts.Cost)
 	if err != nil {
 		return nil, fmt.Errorf("control: final evaluation: %w", err)
 	}
@@ -192,7 +205,7 @@ func Optimize(m *core.Model, ic []float64, tf float64, opts Options) (*Policy, e
 
 // backwardSweep integrates the co-state system from tf to 0 and returns
 // ψ[j][i], φ[j][i] aligned with the schedule grid.
-func backwardSweep(m *core.Model, tr *core.Trajectory, sched *Schedule, opts Options) (psi, phi [][]float64, err error) {
+func backwardSweep(ctx context.Context, m *core.Model, tr *core.Trajectory, sched *Schedule, opts Options) (psi, phi [][]float64, err error) {
 	n := m.N()
 	ng := len(sched.T)
 	tf := sched.Horizon()
@@ -243,7 +256,7 @@ func backwardSweep(m *core.Model, tr *core.Trajectory, sched *Schedule, opts Opt
 		z0[n+i] = opts.TerminalWeight
 	}
 	h := sched.T[1] - sched.T[0]
-	sol, err := ode.SolveFixed(costateRHS, z0, 0, tf, h, &ode.RK4{}, &ode.Options{Record: 1})
+	sol, err := ode.SolveFixed(costateRHS, z0, 0, tf, h, &ode.RK4{}, &ode.Options{Record: 1, Ctx: ctx})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -268,6 +281,12 @@ func backwardSweep(m *core.Model, tr *core.Trajectory, sched *Schedule, opts Opt
 // first satisfying policy (with its J evaluated at unit terminal weight,
 // the paper's objective).
 func OptimizeToTarget(m *core.Model, ic []float64, tf, target float64, opts Options) (*Policy, error) {
+	return OptimizeToTargetCtx(context.Background(), m, ic, tf, target, opts)
+}
+
+// OptimizeToTargetCtx is OptimizeToTarget with cancellation; ctx reaches
+// every inner Optimize call.
+func OptimizeToTargetCtx(ctx context.Context, m *core.Model, ic []float64, tf, target float64, opts Options) (*Policy, error) {
 	if target <= 0 {
 		return nil, fmt.Errorf("control: non-positive target %g", target)
 	}
@@ -275,7 +294,7 @@ func OptimizeToTarget(m *core.Model, ic []float64, tf, target float64, opts Opti
 	const maxBoost = 30
 	for boost := 0; boost < maxBoost; boost++ {
 		opts.TerminalWeight = weight
-		pol, err := Optimize(m, ic, tf, opts)
+		pol, err := OptimizeCtx(ctx, m, ic, tf, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@ package control
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"rumornet/internal/floats"
 )
@@ -62,12 +63,25 @@ func (s *Schedule) Validate() error {
 		return fmt.Errorf("control: schedule lengths T=%d eps1=%d eps2=%d",
 			len(s.T), len(s.Eps1), len(s.Eps2))
 	}
+	// NaN compares false against everything, so the monotonicity and sign
+	// checks below would silently pass a NaN-poisoned schedule; reject
+	// non-finite values explicitly first.
+	for i, t := range s.T {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("control: non-finite grid time %g at node %d", t, i)
+		}
+	}
 	for i := 1; i < len(s.T); i++ {
 		if s.T[i] <= s.T[i-1] {
 			return fmt.Errorf("control: grid not increasing at node %d", i)
 		}
 	}
 	for i := range s.Eps1 {
+		if math.IsNaN(s.Eps1[i]) || math.IsInf(s.Eps1[i], 0) ||
+			math.IsNaN(s.Eps2[i]) || math.IsInf(s.Eps2[i], 0) {
+			return fmt.Errorf("control: non-finite control (ε1=%g, ε2=%g) at node %d",
+				s.Eps1[i], s.Eps2[i], i)
+		}
 		if s.Eps1[i] < 0 || s.Eps2[i] < 0 {
 			return fmt.Errorf("control: negative control at node %d", i)
 		}

@@ -1,0 +1,133 @@
+package control
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenSchedule is the value serialized in testdata/schedule_golden.json.
+func goldenSchedule() *Schedule {
+	return &Schedule{
+		T:    []float64{0, 2.5, 5, 7.5, 10},
+		Eps1: []float64{0.8, 0.6, 0.35, 0.1, 0},
+		Eps2: []float64{0, 0.05, 0.125, 0.25, 0.4},
+	}
+}
+
+// TestScheduleJSONGolden pins the wire format: WriteJSON must emit the
+// golden bytes exactly, and ReadScheduleJSON must recover the same value.
+// Breaking this test means breaking every saved schedule in the wild.
+func TestScheduleJSONGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "schedule_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := goldenSchedule().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("WriteJSON drifted from golden file:\n got: %q\nwant: %q", buf.Bytes(), golden)
+	}
+
+	got, err := ReadScheduleJSON(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenSchedule()
+	if len(got.T) != len(want.T) {
+		t.Fatalf("round-trip length: got %d nodes, want %d", len(got.T), len(want.T))
+	}
+	for i := range want.T {
+		if got.T[i] != want.T[i] || got.Eps1[i] != want.Eps1[i] || got.Eps2[i] != want.Eps2[i] {
+			t.Errorf("node %d: got (%g, %g, %g), want (%g, %g, %g)", i,
+				got.T[i], got.Eps1[i], got.Eps2[i], want.T[i], want.Eps1[i], want.Eps2[i])
+		}
+	}
+}
+
+func TestScheduleJSONRoundTripDense(t *testing.T) {
+	s, err := NewConstantSchedule(25, 40, 0.3, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScheduleJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.T {
+		if got.T[i] != s.T[i] || got.Eps1[i] != s.Eps1[i] || got.Eps2[i] != s.Eps2[i] {
+			t.Fatalf("round trip altered node %d", i)
+		}
+	}
+}
+
+// TestReadScheduleJSONRejects checks that malformed payloads fail on read
+// rather than poisoning a later simulation. The NaN/Inf cases matter most:
+// NaN compares false against everything, so without an explicit check the
+// monotonicity and sign validations would silently pass.
+func TestReadScheduleJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"not json", `{"t": [0, 1`},
+		{"single node", `{"t":[0],"eps1":[0.1],"eps2":[0.1]}`},
+		{"length mismatch", `{"t":[0,1,2],"eps1":[0.1,0.2],"eps2":[0.1,0.2,0.3]}`},
+		{"non-increasing grid", `{"t":[0,2,1],"eps1":[0,0,0],"eps2":[0,0,0]}`},
+		{"negative control", `{"t":[0,1,2],"eps1":[0.1,-0.2,0.1],"eps2":[0,0,0]}`},
+		{"nan time", `{"t":[0,null,2],"eps1":[0,0,0],"eps2":[0,0,0]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadScheduleJSON(strings.NewReader(tc.json)); err == nil {
+				t.Errorf("ReadScheduleJSON(%s): want error, got nil", tc.json)
+			}
+		})
+	}
+}
+
+func TestScheduleValidateNonFinite(t *testing.T) {
+	base := func() *Schedule {
+		return &Schedule{
+			T:    []float64{0, 1, 2},
+			Eps1: []float64{0.1, 0.2, 0.3},
+			Eps2: []float64{0.3, 0.2, 0.1},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Schedule)
+	}{
+		{"nan grid time", func(s *Schedule) { s.T[1] = math.NaN() }},
+		{"inf grid time", func(s *Schedule) { s.T[2] = math.Inf(1) }},
+		{"nan eps1", func(s *Schedule) { s.Eps1[0] = math.NaN() }},
+		{"nan eps2", func(s *Schedule) { s.Eps2[2] = math.NaN() }},
+		{"inf eps1", func(s *Schedule) { s.Eps1[1] = math.Inf(-1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Error("Validate accepted a non-finite schedule")
+			}
+			var buf bytes.Buffer
+			if err := s.WriteJSON(&buf); err == nil {
+				t.Error("WriteJSON serialized a non-finite schedule")
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("baseline schedule should be valid: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSimulateCtxCancelled(t *testing.T) {
+	m := epidemicModel(t)
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.SimulateCtx(ctx, ic, 50, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SimulateCtx with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// TestSimulateBackgroundMatchesCtx pins that Simulate and
+// SimulateCtx(background) produce identical trajectories.
+func TestSimulateBackgroundMatchesCtx(t *testing.T) {
+	m := epidemicModel(t)
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Simulate(ic, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SimulateCtx(context.Background(), ic, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.T) != len(b.T) {
+		t.Fatalf("length mismatch: %d vs %d", len(a.T), len(b.T))
+	}
+	for i := range a.Y {
+		for j := range a.Y[i] {
+			if a.Y[i][j] != b.Y[i][j] {
+				t.Fatalf("state diverged at sample %d component %d", i, j)
+			}
+		}
+	}
+}

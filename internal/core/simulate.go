@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -68,6 +69,13 @@ type Trajectory struct {
 // (0, tf] with fixed-step RK4 (the trajectories are smooth and non-stiff at
 // the paper's parameter scales; see internal/ode for adaptive alternatives).
 func (m *Model) Simulate(ic []float64, tf float64, opts *SimOptions) (*Trajectory, error) {
+	return m.SimulateCtx(context.Background(), ic, tf, opts)
+}
+
+// SimulateCtx is Simulate with cancellation: the integration polls ctx and
+// aborts with an error wrapping ctx.Err() once it is cancelled, so callers
+// (the rumord job runner in particular) can enforce per-job timeouts.
+func (m *Model) SimulateCtx(ctx context.Context, ic []float64, tf float64, opts *SimOptions) (*Trajectory, error) {
 	if len(ic) != 2*m.n {
 		return nil, fmt.Errorf("core: initial condition dimension %d, want %d", len(ic), 2*m.n)
 	}
@@ -103,7 +111,7 @@ func (m *Model) Simulate(ic []float64, tf float64, opts *SimOptions) (*Trajector
 		rhs = m.ControlledRHS(e1, e2)
 	}
 
-	oopts := &ode.Options{Record: rec}
+	oopts := &ode.Options{Record: rec, Ctx: ctx}
 	if opts != nil && opts.Project {
 		n := m.n
 		oopts.Project = func(y []float64) {

@@ -85,6 +85,53 @@ func TruncatedPowerLaw(gamma float64, kmin, kmax int) (*Dist, error) {
 	return &Dist{ks: ks, p: p}, nil
 }
 
+// New builds a distribution from an explicit degree table: distinct degrees
+// ks (in any order) with non-negative weights p that are renormalized to sum
+// to one. This is the constructor behind uploaded P(k) scenarios in the
+// rumord service: operators POST a degree table and get back a first-class
+// scenario. Zero-weight groups are dropped (they contribute nothing to the
+// mean field).
+func New(ks []int, p []float64) (*Dist, error) {
+	if len(ks) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(ks) != len(p) {
+		return nil, fmt.Errorf("degreedist: %d degrees vs %d probabilities", len(ks), len(p))
+	}
+	type pair struct {
+		k int
+		p float64
+	}
+	pairs := make([]pair, 0, len(ks))
+	var total float64
+	for i, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("degreedist: degree %d < 1", k)
+		}
+		if math.IsNaN(p[i]) || math.IsInf(p[i], 0) || p[i] < 0 {
+			return nil, fmt.Errorf("degreedist: invalid probability %g for degree %d", p[i], k)
+		}
+		if p[i] == 0 {
+			continue
+		}
+		pairs = append(pairs, pair{k: k, p: p[i]})
+		total += p[i]
+	}
+	if len(pairs) == 0 || total <= 0 {
+		return nil, fmt.Errorf("degreedist: no positive-probability groups: %w", ErrEmpty)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	d := &Dist{ks: make([]int, len(pairs)), p: make([]float64, len(pairs))}
+	for i, pr := range pairs {
+		if i > 0 && pairs[i-1].k == pr.k {
+			return nil, fmt.Errorf("degreedist: duplicate degree %d", pr.k)
+		}
+		d.ks[i] = pr.k
+		d.p[i] = pr.p / total
+	}
+	return d, nil
+}
+
 // Uniform builds the uniform distribution over the given distinct degrees.
 func Uniform(ks []int) (*Dist, error) {
 	if len(ks) == 0 {

@@ -1,0 +1,35 @@
+package ode
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSolveFixedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveFixed(expDecay, []float64{1}, 0, 10, 1e-4, &RK4{}, &Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveFixed with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveFixedNilCtxCompletes(t *testing.T) {
+	sol, err := SolveFixed(expDecay, []float64{1}, 0, 2, 1e-3, &RK4{}, &Options{Ctx: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf, _ := sol.Last(); tf != 2 {
+		t.Errorf("final time = %g, want 2", tf)
+	}
+}
+
+func TestSolveAdaptiveCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveAdaptive(expDecay, []float64{1}, 0, 10, &AdaptiveOptions{Options: Options{Ctx: ctx}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveAdaptive with cancelled ctx: %v, want context.Canceled", err)
+	}
+}

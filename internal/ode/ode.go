@@ -16,6 +16,7 @@
 package ode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -101,6 +102,13 @@ type Options struct {
 	// simplex against round-off drift.
 	Project func(y []float64)
 
+	// Ctx, if non-nil, is polled periodically during the integration; once
+	// it is cancelled the solver abandons the run and returns the partial
+	// solution together with an error wrapping ctx.Err(). This is how job
+	// timeouts reach the innermost loops of long simulations and FBSM
+	// sweeps without the solvers importing any service machinery.
+	Ctx context.Context
+
 	// Stop, if non-nil, terminates the integration early when it returns
 	// true. The sample at which it fired is included in the solution.
 	Stop func(t float64, y []float64) bool
@@ -135,6 +143,21 @@ func (o *Options) project(y []float64) {
 
 func (o *Options) stop(t float64, y []float64) bool {
 	return o != nil && o.Stop != nil && o.Stop(t, y)
+}
+
+// ctxPollInterval is how many fixed steps pass between context polls: rare
+// enough that the check is free next to the RHS evaluations, frequent
+// enough that cancellation lands within a fraction of a millisecond.
+const ctxPollInterval = 256
+
+func (o *Options) cancelled(t float64) error {
+	if o == nil || o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return fmt.Errorf("ode: integration cancelled at t=%g: %w", t, err)
+	}
+	return nil
 }
 
 // Stepper advances an ODE state by one fixed step. Implementations keep
@@ -276,6 +299,11 @@ func SolveFixed(f Func, y0 []float64, t0, tf, h float64, st Stepper, opts *Optio
 	sol.Y = append(sol.Y, floats.Clone(y))
 
 	for i := 0; i < steps; i++ {
+		if i%ctxPollInterval == 0 {
+			if err := opts.cancelled(t); err != nil {
+				return sol, err
+			}
+		}
 		step := h
 		if t+step > tf {
 			step = tf - t
@@ -407,6 +435,9 @@ func SolveAdaptive(f Func, y0 []float64, t0, tf float64, opts *AdaptiveOptions) 
 	accepted := 0
 
 	for t < tf {
+		if err := optBase.cancelled(t); err != nil {
+			return sol, err
+		}
 		if h > hMax {
 			h = hMax
 		}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is a content-addressed LRU cache of marshaled job results.
+// Keys are cacheKey digests, so identical (scenario, params) submissions —
+// regardless of field order or explicit-vs-defaulted parameters — resolve
+// to the same entry and repeated requests are O(1).
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+// newResultCache returns a cache bounded to capacity entries; capacity 0
+// disables caching (every Get misses, every Put is dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	// RawMessage values are written once and never mutated after Put, so
+	// handing out the shared slice is safe.
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) put(key string, val json.RawMessage) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

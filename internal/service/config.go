@@ -1,0 +1,77 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes a Service. The zero value is not usable directly;
+// New applies the documented defaults first and then validates.
+type Config struct {
+	// Workers is the number of goroutines executing jobs (default:
+	// runtime.NumCPU via par.Default). Each job additionally fans its own
+	// inner work (ABM trials, transition-sweep shards) across
+	// InnerWorkers goroutines.
+	Workers int
+	// InnerWorkers bounds the per-job fan-out handed to internal/par
+	// (default 1: with Workers jobs in flight, per-job parallelism is
+	// usually counterproductive; raise it for a lightly loaded daemon).
+	InnerWorkers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64). Submissions beyond the bound are rejected so a burst
+	// degrades into fast 503s instead of unbounded memory growth.
+	QueueDepth int
+	// CacheEntries is the capacity of the content-addressed result cache
+	// (default 256; negative disables caching).
+	CacheEntries int
+	// MaxJobs bounds the number of job records retained for polling
+	// (default 4096); the oldest finished jobs are evicted first.
+	MaxJobs int
+	// DefaultTimeout applies to jobs that do not request one
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-job timeout a client may request
+	// (default 10m).
+	MaxTimeout time.Duration
+	// Seed drives the built-in synthetic Digg2009 scenario construction
+	// (default 1, matching the CLIs).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.InnerWorkers <= 0 {
+		c.InnerWorkers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	} else if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // explicit disable
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.DefaultTimeout > c.MaxTimeout {
+		return fmt.Errorf("service: default timeout %s exceeds max timeout %s",
+			c.DefaultTimeout, c.MaxTimeout)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's JSON API:
+//
+//	GET    /healthz              — liveness (200 while the process runs)
+//	GET    /readyz               — readiness (503 once draining)
+//	GET    /v1/stats             — queue depth, cache hit rate, latency
+//	GET    /v1/scenarios         — list registered scenarios
+//	POST   /v1/scenarios         — register an uploaded P(k) table
+//	GET    /v1/scenarios/{name}  — one scenario's summary
+//	GET    /v1/jobs              — list retained jobs
+//	POST   /v1/jobs              — submit a job (202 + snapshot)
+//	GET    /v1/jobs/{id}         — poll a job; result inline when done
+//	DELETE /v1/jobs/{id}         — cancel a job
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"scenarios": s.Scenarios()})
+	})
+	mux.HandleFunc("POST /v1/scenarios", s.handleRegisterScenario)
+	mux.HandleFunc("GET /v1/scenarios/{name}", func(w http.ResponseWriter, r *http.Request) {
+		sc, err := s.Scenario(r.PathValue("name"))
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sc)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	return mux
+}
+
+// scenarioUpload is the body of POST /v1/scenarios.
+type scenarioUpload struct {
+	Name    string    `json:"name"`
+	Degrees []int     `json:"degrees"`
+	Probs   []float64 `json:"probs"`
+}
+
+func (s *Service) handleRegisterScenario(w http.ResponseWriter, r *http.Request) {
+	var up scenarioUpload
+	if err := decodeBody(r, &up); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.RegisterScenario(up.Name, up.Degrees, up.Probs)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sc)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	// A cache hit is already complete; report 200 so clients can skip the
+	// poll loop entirely.
+	code := http.StatusAccepted
+	if job.Status.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job)
+}
+
+// decodeBody strictly decodes a JSON body, rejecting unknown fields so
+// typos like "epsmax" fail loudly instead of silently using defaults.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<22)) // 4 MiB
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decode request body: %w", err)
+	}
+	return nil
+}
+
+// writeServiceError maps the package's sentinel errors onto HTTP statuses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, errDuplicate):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing more we can do than drop the conn.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,408 @@
+// Package service implements rumord's simulation-as-a-service layer: a
+// scenario registry, a bounded asynchronous job queue executing on a fixed
+// worker pool, a content-addressed LRU result cache, per-job timeouts with
+// context cancellation threaded into the solvers (internal/core,
+// internal/control, internal/abm), and operational introspection
+// (health/readiness/stats). See DESIGN.md §7.
+//
+// The package is HTTP-agnostic at its core — Submit/Job/Cancel/Drain are
+// plain methods — with the JSON API bolted on in handlers.go, so the same
+// engine can back other transports later.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"rumornet/internal/degreedist"
+	"rumornet/internal/digg"
+	"rumornet/internal/par"
+)
+
+// Sentinel errors mapped to HTTP statuses by handlers.go.
+var (
+	// ErrBadRequest marks malformed or out-of-range client input (400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrNotFound marks an unknown job or scenario id (404).
+	ErrNotFound = errors.New("not found")
+	// ErrQueueFull is returned when the bounded queue rejects a
+	// submission (503): back off and retry.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrDraining is returned for submissions after drain began (503).
+	ErrDraining = errors.New("service draining")
+	// errDuplicate marks a scenario-name collision (409).
+	errDuplicate = errors.New("duplicate")
+)
+
+func defaultWorkers() int { return par.Default(0) }
+
+// jobRecord is the service-internal state of a job; every field is guarded
+// by Service.mu except the immutable req/sc/key/timeout set at submission.
+type jobRecord struct {
+	job     Job
+	req     Request
+	sc      *Scenario
+	key     string
+	timeout time.Duration
+
+	cancel        context.CancelFunc // non-nil while running
+	userCancelled bool
+}
+
+// Service is the resident simulation engine behind cmd/rumord.
+type Service struct {
+	cfg       Config
+	scenarios *registry
+	cache     *resultCache
+	met       *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*jobRecord
+	order    []string // submission order, for bounded retention
+	seq      uint64
+	queue    chan *jobRecord
+	draining bool
+}
+
+// New builds a Service, registers the built-in Digg2009 scenario, and
+// starts the worker pool. Call Drain (graceful) or Close (immediate) to
+// shut it down.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:       cfg,
+		scenarios: newRegistry(),
+		cache:     newResultCache(cfg.CacheEntries),
+		met:       newMetrics(),
+		jobs:      make(map[string]*jobRecord),
+		queue:     make(chan *jobRecord, cfg.QueueDepth),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	// The built-in scenario is the expensive one (a 71k-user synthetic
+	// network); building it once here is exactly the amortization the
+	// one-shot CLIs cannot offer.
+	dist, err := digg.Dist(rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("service: built-in scenario: %w", err)
+	}
+	if _, err := s.scenarios.register(BuiltinScenario, "builtin", dist); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// RegisterScenario adds an uploaded degree table under the given name.
+func (s *Service) RegisterScenario(name string, degrees []int, probs []float64) (*Scenario, error) {
+	d, err := degreedist.New(degrees, probs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return s.scenarios.register(name, "uploaded", d)
+}
+
+// Scenario returns a registered scenario by name.
+func (s *Service) Scenario(name string) (*Scenario, error) {
+	sc, ok := s.scenarios.get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: scenario %q", ErrNotFound, name)
+	}
+	return sc, nil
+}
+
+// Scenarios lists registered scenarios sorted by name.
+func (s *Service) Scenarios() []*Scenario { return s.scenarios.list() }
+
+// Submit validates and enqueues a job, returning its initial snapshot. A
+// result-cache hit completes the job synchronously (Status ==
+// StatusSucceeded, CacheHit == true) without consuming a queue slot.
+func (s *Service) Submit(req Request) (Job, error) {
+	if !validJobType(req.Type) {
+		return Job{}, fmt.Errorf("%w: unknown job type %q (want ode, threshold, abm or fbsm)", ErrBadRequest, req.Type)
+	}
+	if req.Scenario == "" {
+		req.Scenario = BuiltinScenario
+	}
+	sc, ok := s.scenarios.get(req.Scenario)
+	if !ok {
+		return Job{}, fmt.Errorf("%w: unknown scenario %q", ErrBadRequest, req.Scenario)
+	}
+	req.Params = req.Params.withDefaults(req.Type)
+	if err := req.Params.validate(req.Type); err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.TimeoutSec < 0 {
+		return Job{}, fmt.Errorf("%w: timeout_sec = %g must be non-negative", ErrBadRequest, req.TimeoutSec)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	key := cacheKey(req.Type, sc.Fingerprint, req.Params)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.reject()
+		return Job{}, ErrDraining
+	}
+	s.seq++
+	now := time.Now()
+	r := &jobRecord{
+		job: Job{
+			ID:          fmt.Sprintf("j-%06d", s.seq),
+			Type:        req.Type,
+			Scenario:    req.Scenario,
+			Status:      StatusQueued,
+			SubmittedAt: now,
+		},
+		req:     req,
+		sc:      sc,
+		key:     key,
+		timeout: timeout,
+	}
+
+	if raw, hit := s.cache.get(key); hit {
+		s.met.submit()
+		s.met.cacheHit()
+		s.met.outcome(StatusSucceeded)
+		fin := time.Now()
+		r.job.Status = StatusSucceeded
+		r.job.CacheHit = true
+		r.job.Result = raw
+		r.job.FinishedAt = &fin
+		s.insertLocked(r)
+		return r.job, nil
+	}
+
+	select {
+	case s.queue <- r:
+		s.met.submit()
+		s.met.cacheMiss()
+		s.insertLocked(r)
+		return r.job, nil
+	default:
+		s.met.reject()
+		return Job{}, ErrQueueFull
+	}
+}
+
+// insertLocked records the job and evicts the oldest finished jobs beyond
+// the retention bound. Callers hold s.mu.
+func (s *Service) insertLocked(r *jobRecord) {
+	s.jobs[r.job.ID] = r
+	s.order = append(s.order, r.job.ID)
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if rec, ok := s.jobs[id]; ok && rec.job.Status.Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the map exceed the soft bound
+		}
+	}
+}
+
+// Job returns a snapshot of the job with the given id.
+func (s *Service) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return r.job, true
+}
+
+// Jobs returns snapshots of all retained jobs in submission order.
+func (s *Service) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if r, ok := s.jobs[id]; ok {
+			out = append(out, r.job)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Cancel stops a job: queued jobs finish immediately as cancelled, running
+// jobs have their context cancelled and settle asynchronously. Cancelling
+// a finished job is a no-op returning its final snapshot.
+func (s *Service) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	r, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	switch r.job.Status {
+	case StatusQueued:
+		fin := time.Now()
+		r.job.Status = StatusCancelled
+		r.job.Error = "cancelled before start"
+		r.job.FinishedAt = &fin
+		job := r.job
+		s.mu.Unlock()
+		s.met.outcome(StatusCancelled)
+		return job, nil
+	case StatusRunning:
+		r.userCancelled = true
+		cancel := r.cancel
+		job := r.job
+		s.mu.Unlock()
+		cancel()
+		return job, nil
+	default:
+		job := r.job
+		s.mu.Unlock()
+		return job, nil
+	}
+}
+
+// Stats returns a consistent snapshot of the operational counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+	}
+	s.mu.Lock()
+	st.QueueDepth = len(s.queue)
+	st.Draining = s.draining
+	s.mu.Unlock()
+	st.Cache.Entries = s.cache.len()
+	st.Cache.Capacity = s.cfg.CacheEntries
+	s.met.snapshot(&st)
+	return st
+}
+
+// Ready reports whether the service accepts new submissions.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
+// Drain stops accepting submissions, lets queued and running jobs finish,
+// and returns once the workers exit (or ctx expires, in which case the
+// remaining jobs keep running and Close should follow).
+func (s *Service) Drain(ctx context.Context) error {
+	s.stopIntake()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close shuts down immediately: intake stops, running jobs are cancelled,
+// and Close blocks until the workers exit.
+func (s *Service) Close() {
+	s.stopIntake()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+func (s *Service) stopIntake() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers drain the buffered jobs then exit
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for r := range s.queue {
+		s.runJob(r)
+	}
+}
+
+// runJob executes one dequeued job under its timeout and finalizes its
+// record, metrics and (on success) the result cache.
+func (s *Service) runJob(r *jobRecord) {
+	s.mu.Lock()
+	if r.job.Status != StatusQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, r.timeout)
+	ctx = withInnerWorkers(ctx, s.cfg.InnerWorkers)
+	r.cancel = cancel
+	start := time.Now()
+	r.job.Status = StatusRunning
+	r.job.StartedAt = &start
+	s.mu.Unlock()
+	defer cancel()
+
+	payload, err := execute(ctx, r.sc, r.req)
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.Marshal(payload)
+	}
+
+	s.mu.Lock()
+	fin := time.Now()
+	elapsed := fin.Sub(start)
+	r.job.FinishedAt = &fin
+	r.job.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	switch {
+	case err == nil:
+		r.job.Status = StatusSucceeded
+		r.job.Result = raw
+		s.cache.put(r.key, raw)
+	case r.userCancelled:
+		r.job.Status = StatusCancelled
+		r.job.Error = fmt.Sprintf("cancelled by client: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		r.job.Status = StatusFailed
+		r.job.Error = fmt.Sprintf("timed out after %s: %v", r.timeout, err)
+	case errors.Is(err, context.Canceled):
+		r.job.Status = StatusCancelled
+		r.job.Error = fmt.Sprintf("cancelled by shutdown: %v", err)
+	default:
+		r.job.Status = StatusFailed
+		r.job.Error = err.Error()
+	}
+	status := r.job.Status
+	jobType := r.job.Type
+	s.mu.Unlock()
+
+	s.met.outcome(status)
+	s.met.observe(jobType, elapsed)
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Stats is the /v1/stats payload: a consistent snapshot of the service's
+// operational counters.
+type Stats struct {
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+	Workers       int  `json:"workers"`
+	Draining      bool `json:"draining"`
+
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Cancelled int64 `json:"cancelled"`
+		Rejected  int64 `json:"rejected"` // queue-full or draining refusals
+	} `json:"jobs"`
+
+	Cache struct {
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		Entries  int     `json:"entries"`
+		Capacity int     `json:"capacity"`
+		HitRate  float64 `json:"hit_rate"`
+	} `json:"cache"`
+
+	// LatencyMS aggregates execution latency per job type (cache hits
+	// excluded: they never execute).
+	LatencyMS map[string]LatencySummary `json:"latency_ms"`
+}
+
+// LatencySummary aggregates per-job-type execution latency.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Total float64 `json:"total"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+}
+
+// metrics is the internal mutable counterpart of Stats.
+type metrics struct {
+	mu        sync.Mutex
+	submitted int64
+	completed int64
+	failed    int64
+	cancelled int64
+	rejected  int64
+	hits      int64
+	misses    int64
+	latency   map[JobType]*LatencySummary
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: make(map[JobType]*LatencySummary)}
+}
+
+func (m *metrics) submit()    { m.bump(&m.submitted) }
+func (m *metrics) reject()    { m.bump(&m.rejected) }
+func (m *metrics) cacheHit()  { m.bump(&m.hits) }
+func (m *metrics) cacheMiss() { m.bump(&m.misses) }
+
+func (m *metrics) bump(field *int64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// outcome records a terminal job status.
+func (m *metrics) outcome(status Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch status {
+	case StatusSucceeded:
+		m.completed++
+	case StatusFailed:
+		m.failed++
+	case StatusCancelled:
+		m.cancelled++
+	}
+}
+
+// observe records one execution latency sample for a job type (cache hits
+// and queued-cancellations never execute and are not observed).
+func (m *metrics) observe(t JobType, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.latency[t]
+	if ls == nil {
+		ls = &LatencySummary{}
+		m.latency[t] = ls
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	ls.Count++
+	ls.Total += ms
+	if ms > ls.Max {
+		ls.Max = ms
+	}
+	ls.Mean = ls.Total / float64(ls.Count)
+}
+
+// snapshot fills the counter section of a Stats value.
+func (m *metrics) snapshot(st *Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st.Jobs.Submitted = m.submitted
+	st.Jobs.Completed = m.completed
+	st.Jobs.Failed = m.failed
+	st.Jobs.Cancelled = m.cancelled
+	st.Jobs.Rejected = m.rejected
+	st.Cache.Hits = m.hits
+	st.Cache.Misses = m.misses
+	if total := m.hits + m.misses; total > 0 {
+		st.Cache.HitRate = float64(m.hits) / float64(total)
+	}
+	st.LatencyMS = make(map[string]LatencySummary, len(m.latency))
+	for t, ls := range m.latency {
+		st.LatencyMS[string(t)] = *ls
+	}
+}

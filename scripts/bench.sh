@@ -1,36 +1,60 @@
 #!/bin/sh
-# bench.sh — record the parallel-ABM benchmark suite into BENCH_PR1.json.
+# bench.sh — record a benchmark suite as JSON.
 #
-# Runs the serial-vs-parallel pairs introduced with internal/par:
-#   - internal/abm: BenchmarkABMQuenchedStep{Serial,Parallel},
-#                   BenchmarkMeanRun{Serial,Parallel}
-#   - root:         BenchmarkValidationABM{Serial,Parallel}
-#     (the Quick Digg-scale end-to-end cross-validation)
+# Suites:
+#   pr1 (default) — the parallel-ABM pairs introduced with internal/par:
+#       internal/abm: BenchmarkABMQuenchedStep{Serial,Parallel},
+#                     BenchmarkMeanRun{Serial,Parallel}
+#       root:         BenchmarkValidationABM{Serial,Parallel}
+#     speedup = serial ns_per_op / parallel ns_per_op of each pair.
+#   pr2 — the rumord service-layer latencies (internal/service):
+#       BenchmarkJobColdODE   full submit→execute→poll, cache miss
+#       BenchmarkJobCacheHit  identical request served from the result cache
+#       BenchmarkSubmitReject validation fast-fail
+#     the cold/cache-hit ratio is the PR 2 caching claim.
 #
-# and writes machine metadata plus every benchmark line as JSON, so the
-# speedup at a given core count is reproducible. Usage:
+# Usage:
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh                 # pr1 -> BENCH_PR1.json
+#   scripts/bench.sh pr2             # pr2 -> BENCH_PR2.json
+#   scripts/bench.sh pr2 out.json    # explicit output path
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR1.json}"
+suite="${1:-pr1}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkABMQuenchedStep|BenchmarkMeanRun' \
-	-benchmem ./internal/abm | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkValidationABM(Serial|Parallel)$' \
-	-benchmem . | tee -a "$tmp"
+case "$suite" in
+pr1)
+	out="${2:-BENCH_PR1.json}"
+	note="speedup = serial ns_per_op / parallel ns_per_op of each pair; parallel gains require cpus > 1 and the outputs are bit-identical either way"
+	go test -run '^$' -bench 'BenchmarkABMQuenchedStep|BenchmarkMeanRun' \
+		-benchmem ./internal/abm | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkValidationABM(Serial|Parallel)$' \
+		-benchmem . | tee -a "$tmp"
+	;;
+pr2)
+	out="${2:-BENCH_PR2.json}"
+	note="cold = submit->execute->poll of a cache-missing ODE job; cache hit = identical request completed synchronously from the result cache; their ns_per_op ratio is the caching speedup"
+	go test -run '^$' -bench 'BenchmarkJob|BenchmarkSubmitReject' \
+		-benchmem ./internal/service | tee -a "$tmp"
+	;;
+*)
+	echo "bench.sh: unknown suite '$suite' (want pr1 or pr2)" >&2
+	exit 2
+	;;
+esac
 
 {
 	printf '{\n'
+	printf '  "suite": "%s",\n' "$suite"
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "goos": "%s",\n' "$(go env GOOS)"
 	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
 	printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
-	printf '  "note": "speedup = serial ns_per_op / parallel ns_per_op of each pair; parallel gains require cpus > 1 and the outputs are bit-identical either way",\n'
+	printf '  "note": "%s",\n' "$note"
 	printf '  "benchmarks": [\n'
 	awk '/^Benchmark/ {
 		sep = first++ ? ",\n" : ""

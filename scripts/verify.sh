@@ -5,8 +5,9 @@
 #   tier 2: go vet ./... && go test -race ./...
 #
 # Tier 2 exists because the worker fan-out (internal/par, internal/abm,
-# internal/experiments) must stay data-race free; -race roughly 10x-es the
-# runtime, so it is a separate gate. Usage:
+# internal/experiments) and the rumord service stack (internal/service job
+# queue, result cache, concurrent E2E suite) must stay data-race free; -race
+# roughly 10x-es the runtime, so it is a separate gate. Usage:
 #
 #   scripts/verify.sh         # tier 1 only
 #   scripts/verify.sh -race   # tier 1 + tier 2
