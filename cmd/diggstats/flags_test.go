@@ -16,6 +16,8 @@ func TestFlagValidation(t *testing.T) {
 		{"unknown flag", []string{"-wat"}, 2},
 		{"friends and edges together", []string{"-friends", "a.csv", "-edges", "b.txt"}, 2},
 		{"missing friends file", []string{"-friends", "/does/not/exist"}, 1},
+		{"bad log level", []string{"-log-level", "loud"}, 2},
+		{"bad log format", []string{"-log-format", "yaml"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -32,7 +32,12 @@ func run(args []string) error {
 		save    = fs.String("save", "", "write the (synthetic) network as an edge list")
 		seed    = fs.Int64("seed", 1, "random seed for the synthetic generator")
 	)
+	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	lg, err := lf.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 	if *friends != "" && *edges != "" {
@@ -42,7 +47,6 @@ func run(args []string) error {
 	var (
 		g      *graph.Graph
 		source string
-		err    error
 	)
 	switch {
 	case *friends != "":
@@ -63,6 +67,7 @@ func run(args []string) error {
 		return err
 	}
 
+	lg.Debug("network loaded", "source", source, "nodes", g.NumNodes())
 	s := digg.Summarize(g)
 	fmt.Printf("source: %s\n\n", source)
 	fmt.Printf("%-22s %12s %12s\n", "statistic", "measured", "paper")

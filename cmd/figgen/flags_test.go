@@ -18,6 +18,8 @@ func TestFlagValidation(t *testing.T) {
 		{"width too small", []string{"-width", "5", "-list"}, 2},
 		{"height too small", []string{"-height", "1", "-list"}, 2},
 		{"unknown experiment", []string{"-quick", "no-such-experiment"}, 1},
+		{"bad log level", []string{"-log-level", "loud", "-list"}, 2},
+		{"bad log format", []string{"-log-format", "yaml", "-list"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

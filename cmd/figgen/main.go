@@ -48,7 +48,12 @@ func run(args []string) error {
 		width   = fs.Int("width", 72, "ASCII chart width")
 		height  = fs.Int("height", 16, "ASCII chart height")
 	)
+	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	lg, err := lf.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 	switch {
@@ -72,10 +77,13 @@ func run(args []string) error {
 
 	for _, id := range ids {
 		start := time.Now()
+		lg.Debug("experiment started", "id", id, "quick", *quick, "workers", *workers)
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
 			return err
 		}
+		lg.Debug("experiment finished", "id", id,
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
 		fmt.Printf("==== %s — %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
 
 		chart, err := plot.ASCII("", *width, *height, res.Series...)

@@ -26,6 +26,8 @@ func TestFlagValidation(t *testing.T) {
 		{"negative groups", []string{"-groups", "-1"}, 2},
 		{"i0 out of range", []string{"-i0", "1"}, 2},
 		{"missing schedule file", []string{"-load-json", "/does/not/exist"}, 1},
+		{"bad log level", []string{"-log-level", "loud"}, 2},
+		{"bad log format", []string{"-log-format", "yaml"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"rumornet/internal/core"
 	"rumornet/internal/degreedist"
 	"rumornet/internal/digg"
+	"rumornet/internal/obs"
 	"rumornet/internal/plot"
 )
 
@@ -81,7 +82,12 @@ func run(args []string) error {
 		saveJSON         = fs.String("save-json", "", "write the optimized schedule as JSON to this file")
 		loadJSON         = fs.String("load-json", "", "skip optimization; evaluate a saved schedule against the scenario")
 	)
+	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	lg, err := lf.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 	switch {
@@ -125,6 +131,15 @@ func run(args []string) error {
 		Eps1Max: *epsMax,
 		Eps2Max: *epsMax,
 		Cost:    control.Cost{C1: *c1, C2: *c2},
+		// Per-sweep convergence trace at debug level: residual + objective,
+		// the fastest way to see why a run has not converged.
+		Progress: func(ev obs.Event) {
+			if ev.Stage != obs.StageFBSM {
+				return
+			}
+			lg.Debug("fbsm sweep", "iter", ev.Step, "max_iter", ev.Total,
+				"residual", ev.Value, "cost", ev.Cost)
+		},
 	}
 
 	fmt.Printf("uncontrolled threshold r0 = %.4f (%s); deadline tf = %g; costs c1 = %g, c2 = %g\n",

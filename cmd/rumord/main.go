@@ -17,6 +17,15 @@
 //
 // SIGINT/SIGTERM stop intake and let queued and running jobs finish, bounded
 // by -drain-grace; jobs still running after the grace period are cancelled.
+//
+// Observability: GET /metrics serves Prometheus text exposition on the API
+// listener; -log-level/-log-format configure the structured log stream; and
+// -debug-addr starts a second, opt-in listener with net/http/pprof profiles
+// and a /metrics mirror:
+//
+//	rumord -addr :8080 -debug-addr 127.0.0.1:6060 -log-format json &
+//	curl -s localhost:8080/metrics | grep rumor_queue_depth
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,8 +67,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		maxTimeout   = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested per-job timeouts")
 		drainGrace   = fs.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		seed         = fs.Int64("seed", 1, "seed for the built-in synthetic Digg2009 scenario")
+		debugAddr    = fs.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics (empty: disabled)")
+		progEvery    = fs.Int("progress-log-every", 25, "solver progress events between debug-level log records per job (0: disable)")
 	)
+	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	lg, err := lf.Logger(out)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
@@ -79,16 +96,24 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		return cli.Usagef("-timeout = %s exceeds -max-timeout = %s", *timeout, *maxTimeout)
 	case *drainGrace < 0:
 		return cli.Usagef("-drain-grace = %s must be non-negative", *drainGrace)
+	case *progEvery < 0:
+		return cli.Usagef("-progress-log-every = %d must be non-negative", *progEvery)
+	}
+	logEvery := *progEvery
+	if logEvery == 0 {
+		logEvery = -1 // Config treats 0 as "use the default"; negative disables.
 	}
 
 	svc, err := service.New(service.Config{
-		Workers:        *workers,
-		InnerWorkers:   *innerWorkers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Seed:           *seed,
+		Workers:          *workers,
+		InnerWorkers:     *innerWorkers,
+		QueueDepth:       *queueDepth,
+		CacheEntries:     *cacheSize,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		Seed:             *seed,
+		Logger:           lg,
+		ProgressLogEvery: logEvery,
 	})
 	if err != nil {
 		return err
@@ -99,9 +124,27 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
+	defer ln.Close() // no-op once Serve/Shutdown owns it; closes it on early error returns
 	srv := &http.Server{Handler: svc.Handler()}
 	fmt.Fprintf(out, "rumord: listening on %s (%d workers, queue %d, cache %d)\n",
 		ln.Addr(), svc.Stats().Workers, *queueDepth, *cacheSize)
+
+	// The debug listener is opt-in and meant to stay private (bind it to
+	// loopback): pprof exposes heap contents and /metrics skips the API
+	// middleware. It shuts down abruptly with the process — profiles are
+	// diagnostics, not clients worth draining for.
+	var dsrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		dsrv = &http.Server{Handler: debugMux(svc)}
+		defer dsrv.Close()
+		fmt.Fprintf(out, "rumord: debug listener on %s (pprof + metrics)\n", dln.Addr())
+		go dsrv.Serve(dln)
+	}
+
 	if ready != nil {
 		ready(ln.Addr())
 	}
@@ -128,4 +171,18 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	}
 	fmt.Fprintln(out, "rumord: bye")
 	return nil
+}
+
+// debugMux wires the pprof handlers onto an explicit mux (avoiding the
+// package's http.DefaultServeMux side registration) next to a mirror of
+// the Prometheus endpoint.
+func debugMux(svc *service.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", svc.MetricsHandler())
+	return mux
 }

@@ -8,11 +8,32 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"rumornet/internal/cli"
 )
+
+// syncBuffer serializes writes: the daemon's structured logger writes from
+// worker goroutines while run() writes its own lifecycle lines, and the
+// test reads the result.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
 
 func TestFlagValidation(t *testing.T) {
 	cases := []struct {
@@ -30,6 +51,10 @@ func TestFlagValidation(t *testing.T) {
 		{"timeout above cap", []string{"-timeout", "20m", "-max-timeout", "10m"}, 2},
 		{"negative drain grace", []string{"-drain-grace", "-1s"}, 2},
 		{"unparseable address", []string{"-addr", "999.999.999.999:1"}, 1},
+		{"bad log level", []string{"-log-level", "loud"}, 2},
+		{"bad log format", []string{"-log-format", "yaml"}, 2},
+		{"negative progress log every", []string{"-progress-log-every", "-1"}, 2},
+		{"unparseable debug address", []string{"-addr", "127.0.0.1:0", "-debug-addr", "999.999.999.999:1"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -50,9 +75,10 @@ func TestDaemonLifecycle(t *testing.T) {
 
 	addrCh := make(chan net.Addr, 1)
 	errCh := make(chan error, 1)
-	var out strings.Builder
+	var out syncBuffer
 	go func() {
-		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-grace", "10s"},
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+			"-workers", "2", "-drain-grace", "10s", "-log-format", "json", "-log-level", "debug"},
 			&out, func(a net.Addr) { addrCh <- a })
 	}()
 
@@ -120,6 +146,39 @@ func TestDaemonLifecycle(t *testing.T) {
 		}
 	}
 
+	// The API listener exposes Prometheus metrics that now reflect the job.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `rumor_jobs_finished_total{status="succeeded"} 1`) {
+		t.Errorf("/metrics missing finished-job count:\n%s", metrics)
+	}
+
+	// The -debug-addr listener (parsed from the startup line, since it binds
+	// an ephemeral port too) serves pprof and a /metrics mirror.
+	dbase := ""
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "rumord: debug listener on "); ok {
+			dbase = "http://" + rest[:strings.Index(rest, " ")]
+		}
+	}
+	if dbase == "" {
+		t.Fatalf("no debug-listener line in output:\n%s", out.String())
+	}
+	for _, path := range []string{"/debug/pprof/cmdline", "/metrics"} {
+		resp, err := http.Get(dbase + path)
+		if err != nil {
+			t.Fatalf("debug %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("debug %s: status %d", path, resp.StatusCode)
+		}
+	}
+
 	cancel()
 	select {
 	case err := <-errCh:
@@ -129,8 +188,11 @@ func TestDaemonLifecycle(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not shut down")
 	}
-	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "bye") {
-		t.Errorf("daemon log missing lifecycle lines:\n%s", out.String())
+	logged := out.String()
+	for _, want := range []string{"listening on", "bye", `"msg":"job started"`, `"msg":"job finished"`} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("daemon output missing %q:\n%s", want, logged)
+		}
 	}
 }
 

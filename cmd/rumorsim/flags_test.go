@@ -24,6 +24,8 @@ func TestFlagValidation(t *testing.T) {
 		{"negative abm trials", []string{"-abm-trials", "-2"}, 2},
 		{"abm nodes too small", []string{"-abm-trials", "1", "-abm-nodes", "1"}, 2},
 		{"missing edge file", []string{"-edges", "/does/not/exist"}, 1},
+		{"bad log level", []string{"-log-level", "loud"}, 2},
+		{"bad log format", []string{"-log-format", "yaml"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

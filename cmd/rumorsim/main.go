@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"rumornet/internal/degreedist"
 	"rumornet/internal/digg"
 	"rumornet/internal/graph"
+	"rumornet/internal/obs"
 	"rumornet/internal/plot"
 )
 
@@ -64,7 +66,12 @@ func run(args []string) error {
 		abmNodes  = fs.Int("abm-nodes", 20000, "agents in the synthetic validation graph for -abm-trials")
 		workers   = fs.Int("workers", 0, "worker goroutines for the ABM fan-out (0: all CPUs, 1: serial; output is identical for any value)")
 	)
+	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	lg, err := lf.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 	switch {
@@ -85,6 +92,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	lg.Debug("network built", "source", source, "groups", dist.N(), "mean_degree", dist.MeanDegree())
 	fmt.Printf("network: %s (%d degree groups, ⟨k⟩ = %.2f, k ∈ [%d, %d])\n",
 		source, dist.N(), dist.MeanDegree(), dist.MinDegree(), dist.MaxDegree())
 
@@ -121,7 +129,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := m.Simulate(ic, *tf, nil)
+	tr, err := m.Simulate(ic, *tf, &core.SimOptions{
+		Progress: logProgress(lg), ProgressEvery: 200,
+	})
 	if err != nil {
 		return err
 	}
@@ -145,16 +155,26 @@ func run(args []string) error {
 			}
 		}
 		return crossValidateABM(dist, lamScale, omega, *eps1, *eps2, *i0, *tf,
-			*abmTrials, *abmNodes, *workers, *alpha, rng)
+			*abmTrials, *abmNodes, *workers, *alpha, rng, lg)
 	}
 	return nil
+}
+
+// logProgress adapts the solver progress stream onto debug-level log
+// records, so -log-level debug traces long runs without changing stdout.
+func logProgress(lg *slog.Logger) obs.Progress {
+	return func(ev obs.Event) {
+		lg.Debug("progress", "stage", ev.Stage, "step", ev.Step, "total", ev.Total,
+			"t", ev.T, "value", ev.Value)
+	}
 }
 
 // crossValidateABM realizes a configuration-model graph from the degree
 // distribution and compares the agent-based Monte-Carlo mean against the
 // ODE prediction printed above.
 func crossValidateABM(dist *degreedist.Dist, lamScale float64, omega degreedist.KFunc,
-	eps1, eps2, i0, tf float64, trials, nodes, workers int, alpha float64, rng *rand.Rand) error {
+	eps1, eps2, i0, tf float64, trials, nodes, workers int, alpha float64,
+	rng *rand.Rand, lg *slog.Logger) error {
 	if nodes < 2 {
 		return fmt.Errorf("abm-nodes = %d too small", nodes)
 	}
@@ -169,15 +189,16 @@ func crossValidateABM(dist *degreedist.Dist, lamScale float64, omega degreedist.
 		steps = 1
 	}
 	res, err := abm.MeanRun(g, abm.Config{
-		Lambda:  degreedist.LambdaLinear(lamScale),
-		Omega:   omega,
-		Eps1:    eps1,
-		Eps2:    eps2,
-		I0:      i0,
-		Dt:      dt,
-		Steps:   steps,
-		Mode:    abm.ModeQuenched,
-		Workers: workers,
+		Lambda:   degreedist.LambdaLinear(lamScale),
+		Omega:    omega,
+		Eps1:     eps1,
+		Eps2:     eps2,
+		I0:       i0,
+		Dt:       dt,
+		Steps:    steps,
+		Mode:     abm.ModeQuenched,
+		Workers:  workers,
+		Progress: logProgress(lg),
 	}, trials, rng)
 	if err != nil {
 		return fmt.Errorf("abm: %w", err)

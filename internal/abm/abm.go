@@ -29,8 +29,12 @@ import (
 	"math"
 	"math/rand"
 
+	"sync/atomic"
+	"time"
+
 	"rumornet/internal/degreedist"
 	"rumornet/internal/graph"
+	"rumornet/internal/obs"
 	"rumornet/internal/par"
 )
 
@@ -82,6 +86,19 @@ type Config struct {
 	// runtime.NumCPU(); 1 runs fully serial. The sampled trajectory is
 	// bit-identical for every value.
 	Workers int
+	// Progress, if non-nil, receives StageABM checkpoints every
+	// ProgressEvery steps: steps done, total, simulated time, the infected
+	// fraction (Value) and the wall time of that step's transition sweep
+	// (Elapsed). MeanRun additionally emits one StageABMTrials event per
+	// completed trial and forwards per-step checkpoints only for a single
+	// trial, so concurrent trials never interleave step streams. The
+	// callback may run from worker goroutines and must be concurrency-safe
+	// and cheap; it never changes the sampled trajectory.
+	Progress obs.Progress
+	// ProgressEvery is the step cadence of Progress (default 16 — ABM steps
+	// sweep the whole graph, so they are orders of magnitude heavier than
+	// ODE steps).
+	ProgressEvery int
 }
 
 func (c Config) validate() error {
@@ -294,9 +311,21 @@ func RunCtx(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*R
 	workers := par.Default(cfg.Workers)
 	deltas := make([]delta, par.NumShards(n, shardSize))
 
+	// Hoist the progress decision out of the step loop; the hook path costs
+	// nothing when no one is listening.
+	hook := cfg.Progress != nil
+	every := cfg.ProgressEvery
+	if every <= 0 {
+		every = 16
+	}
+
 	for step := 1; step <= cfg.Steps; step++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("abm: run cancelled at step %d: %w", step, err)
+		}
+		var sweepStart time.Time
+		if hook {
+			sweepStart = time.Now()
 		}
 		// Global Θ for the annealed mode, from the running counter.
 		var theta float64
@@ -361,6 +390,16 @@ func RunCtx(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*R
 		}
 		state, next = next, state
 		record(float64(step) * cfg.Dt)
+		if hook && (step%every == 0 || step == cfg.Steps) {
+			cfg.Progress(obs.Event{
+				Stage:   obs.StageABM,
+				Step:    step,
+				Total:   cfg.Steps,
+				T:       float64(step) * cfg.Dt,
+				Value:   float64(iCnt) / nf,
+				Elapsed: time.Since(sweepStart),
+			})
+		}
 	}
 	return res, nil
 }
@@ -411,9 +450,23 @@ func MeanRunCtx(ctx context.Context, g *graph.Graph, cfg Config, trials int, rng
 	trialWorkers := min(workers, trials)
 	inner := cfg
 	inner.Workers = max(1, workers/trialWorkers)
+	// Per-step checkpoints only make sense as a single ordered stream;
+	// with concurrent trials, report trial completions instead.
+	if trials > 1 {
+		inner.Progress = nil
+	}
 
+	var done atomic.Int64
 	runs, err := par.Map(trialWorkers, trials, func(t int) (*Result, error) {
-		return RunCtx(ctx, g, inner, rand.New(rand.NewSource(trialSeeds[t])))
+		r, rerr := RunCtx(ctx, g, inner, rand.New(rand.NewSource(trialSeeds[t])))
+		if rerr == nil && cfg.Progress != nil {
+			cfg.Progress(obs.Event{
+				Stage: obs.StageABMTrials,
+				Step:  int(done.Add(1)),
+				Total: trials,
+			})
+		}
+		return r, rerr
 	})
 	if err != nil {
 		return nil, err

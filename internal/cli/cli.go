@@ -15,7 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+
+	"rumornet/internal/obs"
 )
 
 // ErrUsage marks an error as a command-line usage failure (exit code 2).
@@ -34,6 +37,35 @@ func WrapParse(err error) error {
 		return err
 	}
 	return fmt.Errorf("%w: %v", ErrUsage, err)
+}
+
+// LogFlags holds the shared -log-level/-log-format flag values registered
+// by AddLogFlags. Every cmd/ binary exposes the same pair with the same
+// vocabulary, so operators configure logging identically across the suite.
+type LogFlags struct {
+	Level  *string
+	Format *string
+}
+
+// AddLogFlags registers -log-level and -log-format on fs with the shared
+// defaults (info, text). Call Logger after fs.Parse to validate the values
+// and build the logger.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	return &LogFlags{
+		Level:  fs.String("log-level", "info", "log verbosity: debug, info, warn or error"),
+		Format: fs.String("log-format", "text", "log output format: text or json"),
+	}
+}
+
+// Logger validates the parsed flag values and builds the command's logger
+// writing to w. Invalid values are usage errors (exit code 2), consistent
+// with every other flag-validation failure.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	lg, err := obs.NewLogger(w, *lf.Level, *lf.Format)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUsage, err)
+	}
+	return lg, nil
 }
 
 // Code maps an error from a command's run function to its exit code.

@@ -52,6 +52,45 @@ func TestWrapParse(t *testing.T) {
 	}
 }
 
+// TestLogFlags covers the shared -log-level/-log-format pair: defaults,
+// every accepted value, and the exit-2 mapping for rejected ones.
+func TestLogFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"defaults", nil, 0},
+		{"debug json", []string{"-log-level", "debug", "-log-format", "json"}, 0},
+		{"warn text", []string{"-log-level", "warn", "-log-format", "text"}, 0},
+		{"error level", []string{"-log-level", "error"}, 0},
+		{"mixed case", []string{"-log-level", "Info", "-log-format", "JSON"}, 0},
+		{"bad level", []string{"-log-level", "loud"}, 2},
+		{"bad format", []string{"-log-format", "yaml"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("x", flag.ContinueOnError)
+			lf := AddLogFlags(fs)
+			if err := fs.Parse(c.args); err != nil {
+				t.Fatal(err)
+			}
+			var buf strings.Builder
+			lg, err := lf.Logger(&buf)
+			if got := Code(err); got != c.code {
+				t.Fatalf("Logger(%v): Code = %d (err %v), want %d", c.args, got, err, c.code)
+			}
+			if c.code != 0 {
+				return
+			}
+			lg.Error("probe", "k", 1)
+			if !strings.Contains(buf.String(), "probe") {
+				t.Errorf("error-level record not written: %q", buf.String())
+			}
+		})
+	}
+}
+
 func TestExitWritesStderrMessage(t *testing.T) {
 	var buf strings.Builder
 	if got := exitTo(&buf, "toolname", errors.New("boom")); got != 1 {

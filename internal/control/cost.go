@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rumornet/internal/core"
+	"rumornet/internal/obs"
 )
 
 // Cost holds the unit costs of the two countermeasures: c1 for spreading
@@ -49,10 +50,19 @@ func EvaluateCostCtx(ctx context.Context, m *core.Model, ic []float64, sched *Sc
 	if err := sched.Validate(); err != nil {
 		return bd, nil, err
 	}
-	tr, err := simulateOnGrid(ctx, m, ic, sched)
+	tr, err := simulateOnGrid(ctx, m, ic, sched, nil, 0)
 	if err != nil {
 		return bd, nil, err
 	}
+	return breakdownOnGrid(m, tr, sched, cost), tr, nil
+}
+
+// breakdownOnGrid evaluates the objective (13) by trapezoidal quadrature
+// from a trajectory already aligned with the schedule grid. Split out of
+// EvaluateCostCtx so the FBSM progress path can price each sweep's schedule
+// without a second forward integration.
+func breakdownOnGrid(m *core.Model, tr *core.Trajectory, sched *Schedule, cost Cost) Breakdown {
+	var bd Breakdown
 	n := m.N()
 	integrand := func(j int) float64 {
 		y := tr.Y[j]
@@ -74,21 +84,25 @@ func EvaluateCostCtx(ctx context.Context, m *core.Model, ic []float64, sched *Sc
 		bd.Terminal += yf[n+i]
 	}
 	bd.Total = bd.Terminal + bd.Running
-	return bd, tr, nil
+	return bd
 }
 
 // simulateOnGrid integrates the controlled model with RK4 using exactly the
 // schedule's grid steps, so trajectory samples align with schedule nodes.
-func simulateOnGrid(ctx context.Context, m *core.Model, ic []float64, sched *Schedule) (*core.Trajectory, error) {
+// prog, when non-nil, receives in-flight checkpoints every progressEvery
+// steps (0 means the default cadence).
+func simulateOnGrid(ctx context.Context, m *core.Model, ic []float64, sched *Schedule, prog obs.Progress, progressEvery int) (*core.Trajectory, error) {
 	if len(ic) != m.StateDim() {
 		return nil, fmt.Errorf("control: initial condition dimension %d, want %d", len(ic), m.StateDim())
 	}
 	h := sched.T[1] - sched.T[0]
 	tr, err := m.SimulateCtx(ctx, ic, sched.Horizon(), &core.SimOptions{
-		Step:   h,
-		Record: 1,
-		Eps1At: sched.Eps1At,
-		Eps2At: sched.Eps2At,
+		Step:          h,
+		Record:        1,
+		Eps1At:        sched.Eps1At,
+		Eps2At:        sched.Eps2At,
+		Progress:      prog,
+		ProgressEvery: progressEvery,
 	})
 	if err != nil {
 		return nil, err

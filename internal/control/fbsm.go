@@ -8,6 +8,7 @@ import (
 
 	"rumornet/internal/core"
 	"rumornet/internal/floats"
+	"rumornet/internal/obs"
 	"rumornet/internal/ode"
 )
 
@@ -50,6 +51,17 @@ type Options struct {
 	// The paper's objective has w = 1 (default); OptimizeToTarget raises w
 	// to force the terminal infection below a target.
 	TerminalWeight float64
+	// Progress, if non-nil, receives telemetry while the sweep runs: one
+	// StageFBSM event per iteration carrying the relative control change
+	// (Value) and the objective J of the schedule just swept (Cost), plus
+	// StageFBSMForward / StageFBSMBackward checkpoints from inside the
+	// integrations so even a single huge-grid sweep is observable. The
+	// callback must be cheap and concurrency-safe; it never alters the
+	// iteration itself.
+	Progress obs.Progress
+	// ProgressEvery is the step cadence of the in-sweep checkpoints
+	// (default 256 integration steps).
+	ProgressEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -133,13 +145,24 @@ func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, o
 	ng := len(sched.T)
 	policy := &Policy{}
 
+	// Rebadge the forward integration's StageODE checkpoints so a consumer
+	// can tell the FBSM forward sweep apart from a plain simulation job.
+	var fwdProg obs.Progress
+	if opts.Progress != nil {
+		prog := opts.Progress
+		fwdProg = func(ev obs.Event) {
+			ev.Stage = obs.StageFBSMForward
+			prog(ev)
+		}
+	}
+
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("control: sweep %d: %w", iter, err)
 		}
 
 		// (1) Forward sweep: state under current controls.
-		tr, err := simulateOnGrid(ctx, m, ic, sched)
+		tr, err := simulateOnGrid(ctx, m, ic, sched, fwdProg, opts.ProgressEvery)
 		if err != nil {
 			return nil, fmt.Errorf("control: forward sweep %d: %w", iter, err)
 		}
@@ -149,6 +172,15 @@ func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, o
 		psi, phi, err := backwardSweep(ctx, m, tr, sched, opts)
 		if err != nil {
 			return nil, fmt.Errorf("control: backward sweep %d: %w", iter, err)
+		}
+
+		// Objective of the schedule that produced this sweep's trajectory,
+		// reusing the forward trajectory already in hand; must run before
+		// step (3) overwrites the schedule in place. Only paid when someone
+		// is listening.
+		var sweepCost float64
+		if opts.Progress != nil {
+			sweepCost = breakdownOnGrid(m, tr, sched, opts.Cost).Total
 		}
 
 		// (3) Control update: clamped stationary point (18)–(19) with
@@ -187,7 +219,18 @@ func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, o
 		}
 
 		policy.Iterations = iter
-		if change <= opts.Tol*math.Max(norm, 1e-12) {
+		converged := change <= opts.Tol*math.Max(norm, 1e-12)
+		if opts.Progress != nil {
+			opts.Progress(obs.Event{
+				Stage: obs.StageFBSM,
+				Step:  iter,
+				Total: opts.MaxIter,
+				T:     tf,
+				Value: change / math.Max(norm, 1e-12),
+				Cost:  sweepCost,
+			})
+		}
+		if converged {
 			policy.Converged = true
 			break
 		}
@@ -256,7 +299,17 @@ func backwardSweep(ctx context.Context, m *core.Model, tr *core.Trajectory, sche
 		z0[n+i] = opts.TerminalWeight
 	}
 	h := sched.T[1] - sched.T[0]
-	sol, err := ode.SolveFixed(costateRHS, z0, 0, tf, h, &ode.RK4{}, &ode.Options{Record: 1, Ctx: ctx})
+	oopts := &ode.Options{Record: 1, Ctx: ctx}
+	if opts.Progress != nil {
+		prog := opts.Progress
+		oopts.ProgressEvery = opts.ProgressEvery
+		oopts.Progress = func(step, total int, tau float64, _ []float64) {
+			// Report in forward time t = tf − τ so consumers see the sweep
+			// marching from tf down to 0.
+			prog(obs.Event{Stage: obs.StageFBSMBackward, Step: step, Total: total, T: tf - tau})
+		}
+	}
+	sol, err := ode.SolveFixed(costateRHS, z0, 0, tf, h, &ode.RK4{}, oopts)
 	if err != nil {
 		return nil, nil, err
 	}

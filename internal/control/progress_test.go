@@ -1,0 +1,105 @@
+package control
+
+import (
+	"testing"
+
+	"rumornet/internal/obs"
+)
+
+// TestOptimizeProgress checks the FBSM telemetry contract: one StageFBSM
+// event per iteration carrying a positive residual and the sweep's objective,
+// in-sweep forward/backward checkpoints, and no effect on the result.
+func TestOptimizeProgress(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	opts := Options{
+		Grid: testGrid, MaxIter: 8, Tol: 1e-9,
+		Eps1Max: testEps1Max, Eps2Max: testEps2Max, Cost: testCost,
+	}
+
+	plain, err := Optimize(m, ic, testTf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var iters []obs.Event
+	var forward, backward int
+	opts.Progress = func(ev obs.Event) {
+		switch ev.Stage {
+		case obs.StageFBSM:
+			iters = append(iters, ev)
+		case obs.StageFBSMForward:
+			forward++
+		case obs.StageFBSMBackward:
+			backward++
+		default:
+			t.Errorf("unexpected stage %q", ev.Stage)
+		}
+	}
+	opts.ProgressEvery = 50
+	traced, err := Optimize(m, ic, testTf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if traced.Iterations != plain.Iterations || traced.Cost.Total != plain.Cost.Total {
+		t.Errorf("progress changed the result: %d/%g vs %d/%g",
+			traced.Iterations, traced.Cost.Total, plain.Iterations, plain.Cost.Total)
+	}
+	if len(iters) != traced.Iterations {
+		t.Fatalf("StageFBSM events = %d, want one per iteration (%d)", len(iters), traced.Iterations)
+	}
+	for i, ev := range iters {
+		if ev.Step != i+1 || ev.Total != opts.MaxIter {
+			t.Errorf("iteration event %d: Step=%d Total=%d", i, ev.Step, ev.Total)
+		}
+		if ev.Value <= 0 {
+			t.Errorf("iteration %d: non-positive residual %g", i+1, ev.Value)
+		}
+		if ev.Cost <= 0 {
+			t.Errorf("iteration %d: non-positive objective %g", i+1, ev.Cost)
+		}
+		if ev.T != testTf {
+			t.Errorf("iteration %d: T=%g, want horizon %g", i+1, ev.T, testTf)
+		}
+	}
+	// With grid 200 and cadence 50, each sweep's integrations emit ~4
+	// checkpoints apiece; the final EvaluateCost pass is untraced.
+	wantPerSweep := testGrid / 50
+	if forward != traced.Iterations*wantPerSweep {
+		t.Errorf("forward checkpoints = %d, want %d per sweep over %d sweeps",
+			forward, wantPerSweep, traced.Iterations)
+	}
+	if backward != traced.Iterations*wantPerSweep {
+		t.Errorf("backward checkpoints = %d, want %d per sweep over %d sweeps",
+			backward, wantPerSweep, traced.Iterations)
+	}
+}
+
+// The residual series itself should decay: the last reported residual must
+// be well below the first on a convergent problem.
+func TestOptimizeProgressResidualDecays(t *testing.T) {
+	m := controlModel(t)
+	ic := controlIC(t, m)
+	var residuals []float64
+	opts := Options{
+		Grid: testGrid, MaxIter: 150, Tol: 1e-4,
+		Eps1Max: testEps1Max, Eps2Max: testEps2Max, Cost: testCost,
+		Progress: func(ev obs.Event) {
+			if ev.Stage == obs.StageFBSM {
+				residuals = append(residuals, ev.Value)
+			}
+		},
+	}
+	pol, err := Optimize(m, ic, testTf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.Converged {
+		t.Fatalf("test problem should converge within %d iterations", opts.MaxIter)
+	}
+	first, last := residuals[0], residuals[len(residuals)-1]
+	if last > opts.Tol || last >= first {
+		t.Errorf("residuals did not decay: first %g, last %g", first, last)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"rumornet/internal/floats"
+	"rumornet/internal/obs"
 	"rumornet/internal/ode"
 )
 
@@ -57,6 +58,13 @@ type SimOptions struct {
 	// Ω after every step. The paper's raw ODE does not enforce Ω; enable
 	// this only for scenario exploration, not figure reproduction.
 	Project bool
+	// Progress, if non-nil, receives StageODE checkpoints every
+	// ProgressEvery accepted steps: steps taken, total, time reached and
+	// the infectivity Θ(t). rumord's job runner threads its progress sink
+	// here so long integrations are visible on GET /v1/jobs/{id}.
+	Progress obs.Progress
+	// ProgressEvery is the step cadence of Progress (default 256).
+	ProgressEvery int
 }
 
 // Trajectory is a simulated solution with model-aware accessors.
@@ -112,6 +120,13 @@ func (m *Model) SimulateCtx(ctx context.Context, ic []float64, tf float64, opts 
 	}
 
 	oopts := &ode.Options{Record: rec, Ctx: ctx}
+	if opts != nil && opts.Progress != nil {
+		prog := opts.Progress
+		oopts.ProgressEvery = opts.ProgressEvery
+		oopts.Progress = func(step, total int, t float64, y []float64) {
+			prog(obs.Event{Stage: obs.StageODE, Step: step, Total: total, T: t, Value: m.Theta(y)})
+		}
+	}
 	if opts != nil && opts.Project {
 		n := m.n
 		oopts.Project = func(y []float64) {

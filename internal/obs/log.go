@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the shared -log-level vocabulary (debug, info, warn,
+// error; case-insensitive) onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger builds a slog.Logger writing to w at the given level in the
+// given format ("text" or "json"). The level/format vocabulary is shared
+// by the -log-level/-log-format flags of every cmd/ binary.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default
+// wherever no logger was configured, so call sites never nil-check.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// loggerKey carries a *slog.Logger through a context.Context.
+type loggerKey struct{}
+
+// ContextWithLogger returns a child context carrying l. rumord's HTTP
+// middleware attaches a request-scoped logger (with request_id) here, and
+// the job runner a job-scoped one (with job_id), so every log line caused
+// by a request or job is correlatable.
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// LoggerFromContext returns the logger carried by ctx, or NopLogger when
+// none was attached.
+func LoggerFromContext(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return NopLogger()
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "time"
+
+// Solver stages reported through Progress events. The solver packages emit
+// these; internal/service maps them onto the job progress surfaced by
+// GET /v1/jobs/{id} and onto registry metrics.
+const (
+	// StageODE is a mean-field integration checkpoint (internal/core on
+	// top of internal/ode): Step/Total count accepted steps, T is the
+	// integration time reached and Value the infectivity Θ(t).
+	StageODE = "ode"
+	// StageFBSM is one completed forward–backward sweep iteration
+	// (internal/control): Step/Total count iterations, Value is the
+	// relative L1 control-change residual the convergence test uses and
+	// Cost the objective J of the schedule the sweep evaluated.
+	StageFBSM = "fbsm"
+	// StageFBSMForward and StageFBSMBackward are checkpoints inside one
+	// sweep's forward state / backward co-state integration, emitted so a
+	// long sweep is visible before its first iteration completes.
+	StageFBSMForward  = "fbsm/forward"
+	StageFBSMBackward = "fbsm/backward"
+	// StageABM is one agent-based transition-sweep step (internal/abm):
+	// Step/Total count time steps, T is simulation time, Value the
+	// infected fraction and Elapsed the wall time of the sweep.
+	StageABM = "abm"
+	// StageABMTrials is MeanRun's trial fan-out: Step/Total count
+	// completed trials.
+	StageABMTrials = "abm/trials"
+)
+
+// Event is one solver progress checkpoint. Fields beyond Stage and Step
+// are stage-specific; unused ones are zero. Events are values — receivers
+// may retain them.
+type Event struct {
+	// Stage identifies the emitting loop (Stage* constants).
+	Stage string
+	// Step is the unit count reached: accepted ODE steps, FBSM
+	// iterations, ABM time steps, completed trials.
+	Step int
+	// Total is the known unit total, or 0 when open-ended.
+	Total int
+	// T is the solver time reached, where meaningful.
+	T float64
+	// Value is the stage's headline scalar: Θ(t) for ODE checkpoints,
+	// the convergence residual for FBSM iterations, the infected
+	// fraction for ABM steps.
+	Value float64
+	// Cost is the FBSM objective J estimate (0 elsewhere).
+	Cost float64
+	// Elapsed is the wall time of the unit, where measured (ABM sweep
+	// steps).
+	Elapsed time.Duration
+}
+
+// Progress receives solver checkpoints. A nil Progress means "no
+// instrumentation" and costs one branch per cadence window in the solver
+// hot loops. Implementations must be safe for concurrent use: fan-outs
+// (ABM trials, sharded sweeps) report from multiple goroutines, and must
+// be fast — solvers call them inline.
+type Progress func(Event)
+
+// Emit calls p with ev when p is non-nil; solvers use it so emission sites
+// stay one-liners.
+func (p Progress) Emit(ev Event) {
+	if p != nil {
+		p(ev)
+	}
+}

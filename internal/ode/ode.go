@@ -119,6 +119,20 @@ type Options struct {
 	// Record decides how many accepted steps to skip between retained
 	// samples for fixed-step methods (default 1: keep every step).
 	Record int
+
+	// Progress, if non-nil, is called every ProgressEvery accepted steps
+	// (and once at the final step) with the step index, the total step
+	// count (0 when open-ended, as in SolveAdaptive), the time reached
+	// and the current state. The state slice is reused by the solver and
+	// is only valid during the call. Keeping the hook at a coarse cadence
+	// keeps its overhead well under the ~5% instrumentation budget (see
+	// BENCH_PR3.json); the package stays free of any observability
+	// dependency — internal/core adapts this callback onto obs.Progress.
+	Progress func(step, total int, t float64, y []float64)
+
+	// ProgressEvery is the number of accepted steps between Progress
+	// calls (default 256, matching the context-poll cadence).
+	ProgressEvery int
 }
 
 func (o *Options) maxSteps() int {
@@ -149,6 +163,24 @@ func (o *Options) stop(t float64, y []float64) bool {
 // enough that the check is free next to the RHS evaluations, frequent
 // enough that cancellation lands within a fraction of a millisecond.
 const ctxPollInterval = 256
+
+func (o *Options) progressEvery() int {
+	if o == nil || o.ProgressEvery <= 0 {
+		return ctxPollInterval
+	}
+	return o.ProgressEvery
+}
+
+// progress reports a checkpoint when a Progress hook is set and the step
+// lands on the cadence (or is the final step).
+func (o *Options) progress(step, total int, t float64, y []float64) {
+	if o == nil || o.Progress == nil {
+		return
+	}
+	if step%o.progressEvery() == 0 || step == total {
+		o.Progress(step, total, t, y)
+	}
+}
 
 func (o *Options) cancelled(t float64) error {
 	if o == nil || o.Ctx == nil {
@@ -298,6 +330,11 @@ func SolveFixed(f Func, y0 []float64, t0, tf, h float64, st Stepper, opts *Optio
 	sol.T = append(sol.T, t)
 	sol.Y = append(sol.Y, floats.Clone(y))
 
+	// Hoist the hook presence checks so an uninstrumented run pays only a
+	// registered-boolean branch per step.
+	hook := opts != nil && opts.Progress != nil
+	every := opts.progressEvery()
+
 	for i := 0; i < steps; i++ {
 		if i%ctxPollInterval == 0 {
 			if err := opts.cancelled(t); err != nil {
@@ -317,6 +354,9 @@ func SolveFixed(f Func, y0 []float64, t0, tf, h float64, st Stepper, opts *Optio
 		opts.project(y)
 		if !floats.AllFinite(y) {
 			return sol, fmt.Errorf("ode: state became non-finite at t=%g", t)
+		}
+		if hook && ((i+1)%every == 0 || i == steps-1) {
+			opts.Progress(i+1, steps, t, y)
 		}
 		if (i+1)%rec == 0 || i == steps-1 {
 			sol.T = append(sol.T, t)
@@ -492,6 +532,7 @@ func SolveAdaptive(f Func, y0 []float64, t0, tf float64, opts *AdaptiveOptions) 
 			sol.T = append(sol.T, t)
 			sol.Y = append(sol.Y, floats.Clone(y))
 			accepted++
+			optBase.progress(accepted, 0, t, y)
 			if accepted > maxSteps {
 				return sol, fmt.Errorf("ode: exceeded MaxSteps=%d", maxSteps)
 			}

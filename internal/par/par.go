@@ -20,6 +20,16 @@ import (
 	"sync/atomic"
 )
 
+// active counts fan-out worker goroutines currently executing shards,
+// process-wide. It feeds rumord's worker-utilization gauge; inline (single
+// worker) runs are counted too, so a serial sweep still registers as one
+// busy worker.
+var active atomic.Int64
+
+// Active reports the number of fan-out workers currently executing shards
+// across all concurrent ForEachShard/Map/Do calls in the process.
+func Active() int { return int(active.Load()) }
+
 // Default resolves a worker-count setting: values above zero are returned
 // unchanged, anything else selects runtime.NumCPU(). A resolved value of 1
 // means "run inline on the calling goroutine".
@@ -57,6 +67,8 @@ func ForEachShard(workers, n, shardSize int, fn func(shard, lo, hi int) error) e
 		workers = shards
 	}
 	if workers <= 1 {
+		active.Add(1)
+		defer active.Add(-1)
 		for s := 0; s < shards; s++ {
 			lo := s * shardSize
 			hi := min(lo+shardSize, n)
@@ -77,6 +89,8 @@ func ForEachShard(workers, n, shardSize int, fn func(shard, lo, hi int) error) e
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			active.Add(1)
+			defer active.Add(-1)
 			for !failed.Load() {
 				s := int(next.Add(1)) - 1
 				if s >= shards {

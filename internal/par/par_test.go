@@ -129,3 +129,33 @@ func TestDo(t *testing.T) {
 		t.Errorf("Do error: %v", err)
 	}
 }
+
+func TestActive(t *testing.T) {
+	if got := Active(); got != 0 {
+		t.Fatalf("Active() = %d at rest, want 0", got)
+	}
+	var peak atomic.Int64
+	err := ForEachShard(4, 16, 1, func(_, _, _ int) error {
+		if a := int64(Active()); a > peak.Load() {
+			peak.Store(a)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p < 1 || p > 4 {
+		t.Errorf("peak Active() = %d, want within [1, 4]", p)
+	}
+	// Inline (serial) execution still registers as one busy worker.
+	var inline int
+	if err := ForEachShard(1, 2, 1, func(_, _, _ int) error { inline = Active(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if inline != 1 {
+		t.Errorf("inline Active() = %d, want 1", inline)
+	}
+	if got := Active(); got != 0 {
+		t.Errorf("Active() = %d after runs, want 0", got)
+	}
+}

@@ -48,23 +48,28 @@ func (c *resultCache) get(key string) (json.RawMessage, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-func (c *resultCache) put(key string, val json.RawMessage) {
+// put inserts or refreshes an entry and returns how many entries the LRU
+// bound evicted, so the caller can count them without the cache knowing
+// about metrics.
+func (c *resultCache) put(key string, val json.RawMessage) (evicted int) {
 	if c.cap == 0 {
-		return
+		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).val = val
-		return
+		return 0
 	}
 	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *resultCache) len() int {

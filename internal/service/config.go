@@ -2,7 +2,10 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
+
+	"rumornet/internal/obs"
 )
 
 // Config parameterizes a Service. The zero value is not usable directly;
@@ -36,6 +39,14 @@ type Config struct {
 	// Seed drives the built-in synthetic Digg2009 scenario construction
 	// (default 1, matching the CLIs).
 	Seed int64
+	// Logger receives the service's structured records: job lifecycle at
+	// info, HTTP requests and solver progress at debug. Nil discards
+	// everything, so tests and embedders that don't care stay silent.
+	Logger *slog.Logger
+	// ProgressLogEvery logs every Nth solver progress event of a job at
+	// debug level (default 25; progress is still always visible on
+	// GET /v1/jobs/{id} regardless). Negative disables progress logging.
+	ProgressLogEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +75,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.ProgressLogEvery == 0 {
+		c.ProgressLogEvery = 25
+	} else if c.ProgressLogEvery < 0 {
+		c.ProgressLogEvery = 0 // explicit disable
 	}
 	return c
 }

@@ -5,12 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
+
+	"rumornet/internal/obs"
 )
 
 // Handler returns the service's JSON API:
 //
 //	GET    /healthz              — liveness (200 while the process runs)
 //	GET    /readyz               — readiness (503 once draining)
+//	GET    /metrics              — Prometheus text exposition
 //	GET    /v1/stats             — queue depth, cache hit rate, latency
 //	GET    /v1/scenarios         — list registered scenarios
 //	POST   /v1/scenarios         — register an uploaded P(k) table
@@ -19,8 +23,14 @@ import (
 //	POST   /v1/jobs              — submit a job (202 + snapshot)
 //	GET    /v1/jobs/{id}         — poll a job; result inline when done
 //	DELETE /v1/jobs/{id}         — cancel a job
+//
+// Every route runs behind the telemetry middleware: a request id (client
+// X-Request-Id or generated) is echoed back, attached to the
+// context logger, and the request is counted and timed in the metrics
+// registry.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler(s.met.reg))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -66,7 +76,53 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, job)
 	})
-	return mux
+	return s.telemetry(mux)
+}
+
+// MetricsHandler returns just the Prometheus exposition endpoint, without
+// the API routes or telemetry middleware. rumord mounts it on the opt-in
+// -debug-addr listener so an operator can scrape a daemon whose API port
+// is firewalled off.
+func (s *Service) MetricsHandler() http.Handler {
+	return obs.Handler(s.met.reg)
+}
+
+// telemetry wraps the API mux with request-id propagation, request logging
+// and HTTP metrics. The request id is the client's X-Request-Id when given
+// (so a caller can correlate across services) or generated; either way it
+// is echoed in the response and attached to the context logger that
+// handlers and the job runner retrieve via obs.LoggerFromContext.
+func (s *Service) telemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", rid)
+		lg := s.cfg.Logger.With("request_id", rid)
+		r = r.WithContext(obs.ContextWithLogger(r.Context(), lg))
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+
+		elapsed := time.Since(start)
+		s.met.httpObserve(r.Method, sw.code, elapsed)
+		lg.Debug("http request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.code,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	})
+}
+
+// statusWriter captures the response code for the telemetry middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // scenarioUpload is the body of POST /v1/scenarios.

@@ -16,6 +16,7 @@ import (
 	"rumornet/internal/core"
 	"rumornet/internal/degreedist"
 	"rumornet/internal/graph"
+	"rumornet/internal/obs"
 )
 
 // JobType selects the computation a job performs.
@@ -67,8 +68,8 @@ type Params struct {
 	Dt     float64 `json:"dt,omitempty"`     // default 0.5
 
 	// FBSM-only.
-	C1     float64 `json:"c1,omitempty"`     // default 5
-	C2     float64 `json:"c2,omitempty"`     // default 10
+	C1     float64 `json:"c1,omitempty"`      // default 5
+	C2     float64 `json:"c2,omitempty"`      // default 10
 	EpsMax float64 `json:"eps_max,omitempty"` // default 0.8
 	Grid   int     `json:"grid,omitempty"`    // default 1000
 	Target float64 `json:"target,omitempty"`  // terminal infection target (0: plain objective)
@@ -247,6 +248,25 @@ type Job struct {
 	// ElapsedMS is the execution latency (start to finish) in
 	// milliseconds; 0 for cache hits.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Progress is the latest solver checkpoint of a running job; the final
+	// checkpoint is retained once the job finishes. Nil for cache hits,
+	// queued jobs, and job types that finished before the first checkpoint.
+	Progress *JobProgress `json:"progress,omitempty"`
+}
+
+// JobProgress is the API view of a solver progress event (see
+// internal/obs): for FBSM jobs Value is the per-iteration relative control
+// change (the convergence residual) and Cost the objective J of the swept
+// schedule; for ODE and ABM jobs Value is Θ(t) and the infected fraction
+// respectively.
+type JobProgress struct {
+	Stage     string    `json:"stage"`
+	Step      int       `json:"step"`
+	Total     int       `json:"total,omitempty"`
+	T         float64   `json:"t,omitempty"`
+	Value     float64   `json:"value,omitempty"`
+	Cost      float64   `json:"cost,omitempty"`
+	UpdatedAt time.Time `json:"updated_at"`
 }
 
 // ODEResult is the payload of a succeeded JobODE.
@@ -333,24 +353,26 @@ func buildModel(sc *Scenario, p Params) (*core.Model, *degreedist.Dist, error) {
 }
 
 // execute runs one job to completion (or cancellation via ctx) and returns
-// the JSON-marshalable result payload.
-func execute(ctx context.Context, sc *Scenario, req Request) (any, error) {
+// the JSON-marshalable result payload. prog, when non-nil, receives the
+// solver's progress checkpoints (threshold jobs finish in microseconds and
+// emit none).
+func execute(ctx context.Context, sc *Scenario, req Request, prog obs.Progress) (any, error) {
 	p := req.Params
 	switch req.Type {
 	case JobODE:
-		return executeODE(ctx, sc, p)
+		return executeODE(ctx, sc, p, prog)
 	case JobThreshold:
 		return executeThreshold(sc, p)
 	case JobABM:
-		return executeABM(ctx, sc, p)
+		return executeABM(ctx, sc, p, prog)
 	case JobFBSM:
-		return executeFBSM(ctx, sc, p)
+		return executeFBSM(ctx, sc, p, prog)
 	default:
 		return nil, fmt.Errorf("unknown job type %q", req.Type)
 	}
 }
 
-func executeODE(ctx context.Context, sc *Scenario, p Params) (any, error) {
+func executeODE(ctx context.Context, sc *Scenario, p Params, prog obs.Progress) (any, error) {
 	m, _, err := buildModel(sc, p)
 	if err != nil {
 		return nil, err
@@ -363,7 +385,7 @@ func executeODE(ctx context.Context, sc *Scenario, p Params) (any, error) {
 	// keeping the JSON payload bounded.
 	step := p.Tf / 2000
 	rec := int(math.Ceil(2000 / float64(p.Points-1)))
-	tr, err := m.SimulateCtx(ctx, ic, p.Tf, &core.SimOptions{Step: step, Record: rec})
+	tr, err := m.SimulateCtx(ctx, ic, p.Tf, &core.SimOptions{Step: step, Record: rec, Progress: prog})
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +438,7 @@ func executeThreshold(sc *Scenario, p Params) (any, error) {
 	return res, nil
 }
 
-func executeABM(ctx context.Context, sc *Scenario, p Params) (any, error) {
+func executeABM(ctx context.Context, sc *Scenario, p Params, prog obs.Progress) (any, error) {
 	_, dist, err := buildModel(sc, p) // validates the scenario/params pair
 	if err != nil {
 		return nil, err
@@ -438,15 +460,16 @@ func executeABM(ctx context.Context, sc *Scenario, p Params) (any, error) {
 		steps = 1
 	}
 	res, err := abm.MeanRunCtx(ctx, g, abm.Config{
-		Lambda:  degreedist.LambdaLinear(lamScale),
-		Omega:   omega,
-		Eps1:    p.Eps1,
-		Eps2:    p.Eps2,
-		I0:      p.I0,
-		Dt:      p.Dt,
-		Steps:   steps,
-		Mode:    abm.ModeQuenched,
-		Workers: innerWorkersFromCtx(ctx),
+		Lambda:   degreedist.LambdaLinear(lamScale),
+		Omega:    omega,
+		Eps1:     p.Eps1,
+		Eps2:     p.Eps2,
+		I0:       p.I0,
+		Dt:       p.Dt,
+		Steps:    steps,
+		Mode:     abm.ModeQuenched,
+		Workers:  innerWorkersFromCtx(ctx),
+		Progress: prog,
 	}, p.Trials, rng)
 	if err != nil {
 		return nil, err
@@ -461,7 +484,7 @@ func executeABM(ctx context.Context, sc *Scenario, p Params) (any, error) {
 	}, nil
 }
 
-func executeFBSM(ctx context.Context, sc *Scenario, p Params) (any, error) {
+func executeFBSM(ctx context.Context, sc *Scenario, p Params, prog obs.Progress) (any, error) {
 	m, _, err := buildModel(sc, p)
 	if err != nil {
 		return nil, err
@@ -471,11 +494,12 @@ func executeFBSM(ctx context.Context, sc *Scenario, p Params) (any, error) {
 		return nil, err
 	}
 	opts := control.Options{
-		Grid:    p.Grid,
-		MaxIter: 250,
-		Eps1Max: p.EpsMax,
-		Eps2Max: p.EpsMax,
-		Cost:    control.Cost{C1: p.C1, C2: p.C2},
+		Grid:     p.Grid,
+		MaxIter:  250,
+		Eps1Max:  p.EpsMax,
+		Eps2Max:  p.EpsMax,
+		Cost:     control.Cost{C1: p.C1, C2: p.C2},
+		Progress: prog,
 	}
 	var pol *control.Policy
 	if p.Target > 0 {

@@ -15,13 +15,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rumornet/internal/degreedist"
 	"rumornet/internal/digg"
+	"rumornet/internal/obs"
 	"rumornet/internal/par"
 )
 
@@ -53,6 +56,11 @@ type jobRecord struct {
 
 	cancel        context.CancelFunc // non-nil while running
 	userCancelled bool
+
+	// prog is the latest solver checkpoint, written by the executing
+	// worker's progress sink and read by snapshots without taking
+	// Service.mu: stored values are immutable once published.
+	prog atomic.Pointer[JobProgress]
 }
 
 // Service is the resident simulation engine behind cmd/rumord.
@@ -72,6 +80,8 @@ type Service struct {
 	seq      uint64
 	queue    chan *jobRecord
 	draining bool
+
+	reqSeq atomic.Uint64 // request-id generator for the HTTP middleware
 }
 
 // New builds a Service, registers the built-in Digg2009 scenario, and
@@ -91,6 +101,7 @@ func New(cfg Config) (*Service, error) {
 		queue:     make(chan *jobRecord, cfg.QueueDepth),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.met.registerDerived(s)
 
 	// The built-in scenario is the expensive one (a 71k-user synthetic
 	// network); building it once here is exactly the amortization the
@@ -107,7 +118,21 @@ func New(cfg Config) (*Service, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	cfg.Logger.Info("service started",
+		"workers", cfg.Workers, "inner_workers", cfg.InnerWorkers,
+		"queue_depth", cfg.QueueDepth, "cache_entries", cfg.CacheEntries)
 	return s, nil
+}
+
+// snapshot copies the API view of a record, attaching the latest progress
+// checkpoint. Callers hold s.mu for the job copy; the progress pointer is
+// read atomically and its target is immutable.
+func (r *jobRecord) snapshot() Job {
+	job := r.job
+	if p := r.prog.Load(); p != nil {
+		job.Progress = p
+	}
+	return job
 }
 
 // RegisterScenario adds an uploaded degree table under the given name.
@@ -165,6 +190,7 @@ func (s *Service) Submit(req Request) (Job, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		s.met.reject()
+		s.cfg.Logger.Warn("job rejected", "reason", "draining", "type", req.Type)
 		return Job{}, ErrDraining
 	}
 	s.seq++
@@ -193,6 +219,8 @@ func (s *Service) Submit(req Request) (Job, error) {
 		r.job.Result = raw
 		r.job.FinishedAt = &fin
 		s.insertLocked(r)
+		s.cfg.Logger.Info("job served from cache",
+			"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario)
 		return r.job, nil
 	}
 
@@ -201,9 +229,13 @@ func (s *Service) Submit(req Request) (Job, error) {
 		s.met.submit()
 		s.met.cacheMiss()
 		s.insertLocked(r)
+		s.cfg.Logger.Info("job queued",
+			"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario,
+			"timeout", timeout.String())
 		return r.job, nil
 	default:
 		s.met.reject()
+		s.cfg.Logger.Warn("job rejected", "reason", "queue full", "type", req.Type)
 		return Job{}, ErrQueueFull
 	}
 }
@@ -237,7 +269,7 @@ func (s *Service) Job(id string) (Job, bool) {
 	if !ok {
 		return Job{}, false
 	}
-	return r.job, true
+	return r.snapshot(), true
 }
 
 // Jobs returns snapshots of all retained jobs in submission order.
@@ -247,7 +279,7 @@ func (s *Service) Jobs() []Job {
 	out := make([]Job, 0, len(s.jobs))
 	for _, id := range s.order {
 		if r, ok := s.jobs[id]; ok {
-			out = append(out, r.job)
+			out = append(out, r.snapshot())
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -273,16 +305,18 @@ func (s *Service) Cancel(id string) (Job, error) {
 		job := r.job
 		s.mu.Unlock()
 		s.met.outcome(StatusCancelled)
+		s.cfg.Logger.Info("job cancelled while queued", "job_id", id)
 		return job, nil
 	case StatusRunning:
 		r.userCancelled = true
 		cancel := r.cancel
-		job := r.job
+		job := r.snapshot()
 		s.mu.Unlock()
 		cancel()
+		s.cfg.Logger.Info("job cancellation requested", "job_id", id)
 		return job, nil
 	default:
-		job := r.job
+		job := r.snapshot()
 		s.mu.Unlock()
 		return job, nil
 	}
@@ -315,6 +349,7 @@ func (s *Service) Ready() bool {
 // and returns once the workers exit (or ctx expires, in which case the
 // remaining jobs keep running and Close should follow).
 func (s *Service) Drain(ctx context.Context) error {
+	s.cfg.Logger.Info("drain started")
 	s.stopIntake()
 	done := make(chan struct{})
 	go func() {
@@ -370,7 +405,18 @@ func (s *Service) runJob(r *jobRecord) {
 	s.mu.Unlock()
 	defer cancel()
 
-	payload, err := execute(ctx, r.sc, r.req)
+	s.met.queueWait.Observe(start.Sub(r.job.SubmittedAt).Seconds())
+	s.met.running.Inc()
+	defer s.met.running.Dec()
+
+	// Job-scoped logger, threaded through ctx so solver-adjacent code can
+	// correlate its records with this job.
+	lg := s.cfg.Logger.With("job_id", r.job.ID, "type", r.job.Type)
+	ctx = obs.ContextWithLogger(ctx, lg)
+	lg.Info("job started", "queue_wait_ms",
+		float64(start.Sub(r.job.SubmittedAt))/float64(time.Millisecond))
+
+	payload, err := execute(ctx, r.sc, r.req, s.progressSink(r, lg))
 	var raw json.RawMessage
 	if err == nil {
 		raw, err = json.Marshal(payload)
@@ -385,7 +431,9 @@ func (s *Service) runJob(r *jobRecord) {
 	case err == nil:
 		r.job.Status = StatusSucceeded
 		r.job.Result = raw
-		s.cache.put(r.key, raw)
+		if evicted := s.cache.put(r.key, raw); evicted > 0 {
+			s.met.cacheEvictions.Add(int64(evicted))
+		}
 	case r.userCancelled:
 		r.job.Status = StatusCancelled
 		r.job.Error = fmt.Sprintf("cancelled by client: %v", err)
@@ -401,8 +449,44 @@ func (s *Service) runJob(r *jobRecord) {
 	}
 	status := r.job.Status
 	jobType := r.job.Type
+	errMsg := r.job.Error
 	s.mu.Unlock()
 
 	s.met.outcome(status)
 	s.met.observe(jobType, elapsed)
+	if status == StatusSucceeded {
+		lg.Info("job finished", "status", status,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	} else {
+		lg.Warn("job finished", "status", status,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond), "error", errMsg)
+	}
+}
+
+// progressSink adapts solver progress events onto the job record (for
+// GET /v1/jobs/{id}), the metrics registry, and — every ProgressLogEvery-th
+// event — the structured log. Solvers may call it from worker goroutines;
+// everything it touches is atomic.
+func (s *Service) progressSink(r *jobRecord, lg *slog.Logger) obs.Progress {
+	var n atomic.Int64
+	every := int64(s.cfg.ProgressLogEvery)
+	return func(ev obs.Event) {
+		jp := &JobProgress{
+			Stage:     ev.Stage,
+			Step:      ev.Step,
+			Total:     ev.Total,
+			T:         ev.T,
+			Value:     ev.Value,
+			Cost:      ev.Cost,
+			UpdatedAt: time.Now(),
+		}
+		r.prog.Store(jp)
+		if ev.Stage == obs.StageABM && ev.Elapsed > 0 {
+			s.met.abmStep.Observe(ev.Elapsed.Seconds())
+		}
+		if every > 0 && n.Add(1)%every == 0 {
+			lg.Debug("job progress", "stage", ev.Stage, "step", ev.Step,
+				"total", ev.Total, "t", ev.T, "value", ev.Value, "cost", ev.Cost)
+		}
+	}
 }

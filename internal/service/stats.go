@@ -1,8 +1,10 @@
 package service
 
 import (
-	"sync"
 	"time"
+
+	"rumornet/internal/obs"
+	"rumornet/internal/par"
 )
 
 // Stats is the /v1/stats payload: a consistent snapshot of the service's
@@ -42,83 +44,194 @@ type LatencySummary struct {
 	Max   float64 `json:"max"`
 }
 
-// metrics is the internal mutable counterpart of Stats.
+// jobDurationBuckets span rumord's execution latencies: sub-millisecond
+// threshold analyses up to the 10-minute timeout cap.
+var jobDurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
+
+// queueWaitBuckets span the queue dwell time: instant hand-off on an idle
+// pool up to minutes behind a saturated one.
+var queueWaitBuckets = []float64{
+	0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300,
+}
+
+// metrics is the service's instrumentation: every instrument lives in an
+// obs.Registry (scraped at GET /metrics) and doubles as the backing store
+// for the legacy /v1/stats payload, which snapshots the same atomics. The
+// per-type and per-status maps are built once here and read-only afterwards,
+// so the hot paths (submit, runJob) touch only lock-free instruments —
+// replacing the former whole-struct mutex.
 type metrics struct {
-	mu        sync.Mutex
-	submitted int64
-	completed int64
-	failed    int64
-	cancelled int64
-	rejected  int64
-	hits      int64
-	misses    int64
-	latency   map[JobType]*LatencySummary
+	reg *obs.Registry
+
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	outcomes  map[Status]*obs.Counter
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+
+	latency   map[JobType]*obs.Histogram // execution latency per job type
+	queueWait *obs.Histogram
+	abmStep   *obs.Histogram // per-sweep wall time from StageABM events
+	running   *obs.Gauge     // jobs currently executing (busy workers)
+
+	httpRequests map[string]*obs.Counter // by method; code recorded per call
+	httpDuration *obs.Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{latency: make(map[JobType]*LatencySummary)}
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		submitted: reg.Counter("rumor_jobs_submitted_total",
+			"Jobs accepted by POST /v1/jobs (cache hits included)."),
+		rejected: reg.Counter("rumor_jobs_rejected_total",
+			"Submissions refused because the queue was full or the service draining."),
+		outcomes: map[Status]*obs.Counter{},
+		cacheHits: reg.Counter("rumor_cache_hits_total",
+			"Submissions answered from the result cache."),
+		cacheMisses: reg.Counter("rumor_cache_misses_total",
+			"Submissions that had to execute."),
+		cacheEvictions: reg.Counter("rumor_cache_evictions_total",
+			"Result-cache entries evicted by the LRU bound."),
+		latency: map[JobType]*obs.Histogram{},
+		queueWait: reg.Histogram("rumor_queue_wait_seconds",
+			"Dwell time between submission and execution start.", queueWaitBuckets),
+		abmStep: reg.Histogram("rumor_abm_step_seconds",
+			"Wall time of one ABM transition sweep, sampled at the progress cadence.",
+			[]float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}),
+		running: reg.Gauge("rumor_jobs_running",
+			"Jobs currently executing on the worker pool."),
+		httpRequests: map[string]*obs.Counter{},
+		httpDuration: reg.Histogram("rumor_http_request_duration_seconds",
+			"HTTP request handling latency.",
+			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
+	}
+	for _, st := range []Status{StatusSucceeded, StatusFailed, StatusCancelled} {
+		m.outcomes[st] = reg.Counter("rumor_jobs_finished_total",
+			"Jobs reaching a terminal status.", obs.L("status", string(st)))
+	}
+	for _, t := range []JobType{JobODE, JobThreshold, JobABM, JobFBSM} {
+		m.latency[t] = reg.Histogram("rumor_job_duration_seconds",
+			"Job execution latency (cache hits excluded).",
+			jobDurationBuckets, obs.L("type", string(t)))
+	}
+	return m
 }
 
-func (m *metrics) submit()    { m.bump(&m.submitted) }
-func (m *metrics) reject()    { m.bump(&m.rejected) }
-func (m *metrics) cacheHit()  { m.bump(&m.hits) }
-func (m *metrics) cacheMiss() { m.bump(&m.misses) }
-
-func (m *metrics) bump(field *int64) {
-	m.mu.Lock()
-	*field++
-	m.mu.Unlock()
+// registerDerived adds the gauges whose values are read from live service
+// state at scrape time. Split from newMetrics because they close over the
+// Service being constructed.
+func (m *metrics) registerDerived(s *Service) {
+	m.reg.GaugeFunc("rumor_queue_depth",
+		"Jobs queued but not yet running.",
+		func() float64 { return float64(len(s.queue)) })
+	m.reg.Gauge("rumor_queue_capacity",
+		"Bound of the job queue.").Set(float64(s.cfg.QueueDepth))
+	m.reg.Gauge("rumor_workers",
+		"Size of the job worker pool.").Set(float64(s.cfg.Workers))
+	m.reg.GaugeFunc("rumor_fanout_workers_active",
+		"internal/par fan-out workers currently executing shards (process-wide).",
+		func() float64 { return float64(par.Active()) })
+	m.reg.GaugeFunc("rumor_cache_entries",
+		"Entries resident in the result cache.",
+		func() float64 { return float64(s.cache.len()) })
+	m.reg.Gauge("rumor_cache_capacity",
+		"Bound of the result cache.").Set(float64(s.cfg.CacheEntries))
+	m.reg.GaugeFunc("rumor_draining",
+		"1 once graceful shutdown began, else 0.",
+		func() float64 {
+			if s.Ready() {
+				return 0
+			}
+			return 1
+		})
 }
+
+func (m *metrics) submit()    { m.submitted.Inc() }
+func (m *metrics) reject()    { m.rejected.Inc() }
+func (m *metrics) cacheHit()  { m.cacheHits.Inc() }
+func (m *metrics) cacheMiss() { m.cacheMisses.Inc() }
 
 // outcome records a terminal job status.
 func (m *metrics) outcome(status Status) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	switch status {
-	case StatusSucceeded:
-		m.completed++
-	case StatusFailed:
-		m.failed++
-	case StatusCancelled:
-		m.cancelled++
+	if c := m.outcomes[status]; c != nil {
+		c.Inc()
 	}
 }
 
 // observe records one execution latency sample for a job type (cache hits
 // and queued-cancellations never execute and are not observed).
 func (m *metrics) observe(t JobType, elapsed time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.latency[t]
-	if ls == nil {
-		ls = &LatencySummary{}
-		m.latency[t] = ls
+	if h := m.latency[t]; h != nil {
+		h.Observe(elapsed.Seconds())
 	}
-	ms := float64(elapsed) / float64(time.Millisecond)
-	ls.Count++
-	ls.Total += ms
-	if ms > ls.Max {
-		ls.Max = ms
-	}
-	ls.Mean = ls.Total / float64(ls.Count)
 }
 
-// snapshot fills the counter section of a Stats value.
-func (m *metrics) snapshot(st *Stats) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st.Jobs.Submitted = m.submitted
-	st.Jobs.Completed = m.completed
-	st.Jobs.Failed = m.failed
-	st.Jobs.Cancelled = m.cancelled
-	st.Jobs.Rejected = m.rejected
-	st.Cache.Hits = m.hits
-	st.Cache.Misses = m.misses
-	if total := m.hits + m.misses; total > 0 {
-		st.Cache.HitRate = float64(m.hits) / float64(total)
+// httpObserve records one handled HTTP request.
+func (m *metrics) httpObserve(method string, code int, elapsed time.Duration) {
+	m.reg.Counter("rumor_http_requests_total",
+		"HTTP requests handled, by method and status code.",
+		obs.L("method", method), obs.L("code", httpCodeLabel(code))).Inc()
+	m.httpDuration.Observe(elapsed.Seconds())
+}
+
+// httpCodeLabel keeps the status-code label bounded to the small set of
+// codes the API emits (plus a catch-all), honouring the cardinality rules.
+func httpCodeLabel(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 201:
+		return "201"
+	case 202:
+		return "202"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 409:
+		return "409"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	default:
+		return "other"
 	}
-	st.LatencyMS = make(map[string]LatencySummary, len(m.latency))
-	for t, ls := range m.latency {
-		st.LatencyMS[string(t)] = *ls
+}
+
+// snapshot fills the counter section of a Stats value from the live
+// instruments. Counters are read individually; the snapshot is near-
+// consistent, which is all /v1/stats ever promised.
+func (m *metrics) snapshot(st *Stats) {
+	st.Jobs.Submitted = m.submitted.Value()
+	st.Jobs.Completed = m.outcomes[StatusSucceeded].Value()
+	st.Jobs.Failed = m.outcomes[StatusFailed].Value()
+	st.Jobs.Cancelled = m.outcomes[StatusCancelled].Value()
+	st.Jobs.Rejected = m.rejected.Value()
+	st.Cache.Hits = m.cacheHits.Value()
+	st.Cache.Misses = m.cacheMisses.Value()
+	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+		st.Cache.HitRate = float64(st.Cache.Hits) / float64(total)
+	}
+	st.LatencyMS = make(map[string]LatencySummary)
+	for t, h := range m.latency {
+		count := h.Count()
+		if count == 0 {
+			continue // preserve the legacy shape: only types that executed
+		}
+		totalMS := h.Sum() * 1e3
+		st.LatencyMS[string(t)] = LatencySummary{
+			Count: count,
+			Total: totalMS,
+			Mean:  totalMS / float64(count),
+			Max:   h.Max() * 1e3,
+		}
 	}
 }

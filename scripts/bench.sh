@@ -12,11 +12,17 @@
 #       BenchmarkJobCacheHit  identical request served from the result cache
 #       BenchmarkSubmitReject validation fast-fail
 #     the cold/cache-hit ratio is the PR 2 caching claim.
+#   pr3 — progress-hook overhead on the solver hot loops:
+#       internal/ode: BenchmarkSolveFixedProgress{Off,On}
+#       internal/abm: BenchmarkRunProgress{Off,On}
+#     overhead = on ns_per_op / off ns_per_op - 1 per pair; the PR 3
+#     claim is < 5% on the ODE step loop.
 #
 # Usage:
 #
 #   scripts/bench.sh                 # pr1 -> BENCH_PR1.json
 #   scripts/bench.sh pr2             # pr2 -> BENCH_PR2.json
+#   scripts/bench.sh pr3             # pr3 -> BENCH_PR3.json
 #   scripts/bench.sh pr2 out.json    # explicit output path
 set -eu
 
@@ -40,8 +46,16 @@ pr2)
 	go test -run '^$' -bench 'BenchmarkJob|BenchmarkSubmitReject' \
 		-benchmem ./internal/service | tee -a "$tmp"
 	;;
+pr3)
+	out="${2:-BENCH_PR3.json}"
+	note="overhead = on ns_per_op / off ns_per_op - 1 per pair; Off runs the hot loop with no progress hook, On with a counting hook at the default cadence; the ODE pair must stay under 5%"
+	go test -run '^$' -bench 'BenchmarkSolveFixedProgress(Off|On)$' \
+		-benchmem ./internal/ode | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkRunProgress(Off|On)$' \
+		-benchmem ./internal/abm | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown suite '$suite' (want pr1 or pr2)" >&2
+	echo "bench.sh: unknown suite '$suite' (want pr1, pr2 or pr3)" >&2
 	exit 2
 	;;
 esac
