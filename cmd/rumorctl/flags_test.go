@@ -28,6 +28,12 @@ func TestFlagValidation(t *testing.T) {
 		{"missing schedule file", []string{"-load-json", "/does/not/exist"}, 1},
 		{"bad log level", []string{"-log-level", "loud"}, 2},
 		{"bad log format", []string{"-log-format", "yaml"}, 2},
+		{"unknown subcommand", []string{"serve"}, 2},
+		{"events help", []string{"events", "-help"}, 0},
+		{"events missing job id", []string{"events"}, 2},
+		{"events extra args", []string{"events", "j-1", "extra"}, 2},
+		{"events unknown flag", []string{"events", "-bogus", "j-1"}, 2},
+		{"events unreachable daemon", []string{"events", "-addr", "http://127.0.0.1:0", "j-1"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

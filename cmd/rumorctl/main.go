@@ -6,12 +6,19 @@
 // Usage:
 //
 //	rumorctl [flags]
+//	rumorctl events [-addr URL] [-follow] <job-id>
 //
 // Examples:
 //
 //	rumorctl -tf 100 -c1 5 -c2 10
 //	rumorctl -tf 50 -target 1e-4 -epsmax 0.8
 //	rumorctl -tf 60 -compare-heuristic
+//	rumorctl events -addr http://localhost:8080 -follow j-000001
+//
+// The events subcommand tails a rumord job's flight recorder: it replays
+// the recorded lifecycle, solver-checkpoint and invariant-violation
+// entries and, with -follow, streams new ones live over SSE until the job
+// finishes.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"rumornet/internal/cli"
 	"rumornet/internal/control"
@@ -62,6 +70,16 @@ func evaluateSaved(m *core.Model, ic []float64, path string, cost control.Cost) 
 }
 
 func run(args []string) error {
+	// Subcommand dispatch: a leading non-flag argument selects a verb; bare
+	// flags keep the original optimize-a-policy behavior.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "events":
+			return runEvents(args[1:], os.Stdout)
+		default:
+			return cli.Usagef("unknown subcommand %q (supported: events)", args[0])
+		}
+	}
 	fs := flag.NewFlagSet("rumorctl", flag.ContinueOnError)
 	var (
 		alpha  = fs.Float64("alpha", 0.01, "rate of new individuals entering")

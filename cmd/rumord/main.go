@@ -20,12 +20,20 @@
 //
 // Observability: GET /metrics serves Prometheus text exposition on the API
 // listener; -log-level/-log-format configure the structured log stream; and
-// -debug-addr starts a second, opt-in listener with net/http/pprof profiles
-// and a /metrics mirror:
+// -debug-addr starts a second, opt-in listener with net/http/pprof profiles,
+// a /metrics mirror and a /debug/events flight-recorder dump:
 //
 //	rumord -addr :8080 -debug-addr 127.0.0.1:6060 -log-format json &
 //	curl -s localhost:8080/metrics | grep rumor_queue_depth
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	curl -s http://127.0.0.1:6060/debug/events | jq .spans
+//
+// Every job records its lifecycle, solver checkpoints and invariant
+// violations into a per-job ring (-journal entries deep, optionally mirrored
+// as JSON lines to -journal-file); GET /v1/jobs/{id}/events replays the ring
+// and follows live over Server-Sent Events with -sse-heartbeat keep-alives.
+// Incoming W3C traceparent headers parent the request/job/stage spans dumped
+// at /debug/events.
 package main
 
 import (
@@ -67,8 +75,11 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		maxTimeout   = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested per-job timeouts")
 		drainGrace   = fs.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		seed         = fs.Int64("seed", 1, "seed for the built-in synthetic Digg2009 scenario")
-		debugAddr    = fs.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics (empty: disabled)")
+		debugAddr    = fs.String("debug-addr", "", "optional second listener serving /debug/pprof/, /metrics and /debug/events (empty: disabled)")
 		progEvery    = fs.Int("progress-log-every", 25, "solver progress events between debug-level log records per job (0: disable)")
+		journalSize  = fs.Int("journal", 256, "per-job flight-recorder ring capacity in entries")
+		journalFile  = fs.String("journal-file", "", "append every journal entry as a JSON line to this file (empty: disabled)")
+		sseHeartbeat = fs.Duration("sse-heartbeat", 15*time.Second, "idle keep-alive cadence of the /v1/jobs/{id}/events stream")
 	)
 	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
@@ -98,10 +109,26 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		return cli.Usagef("-drain-grace = %s must be non-negative", *drainGrace)
 	case *progEvery < 0:
 		return cli.Usagef("-progress-log-every = %d must be non-negative", *progEvery)
+	case *journalSize < 1:
+		return cli.Usagef("-journal = %d must be at least 1", *journalSize)
+	case *sseHeartbeat <= 0:
+		return cli.Usagef("-sse-heartbeat = %s must be positive", *sseHeartbeat)
 	}
 	logEvery := *progEvery
 	if logEvery == 0 {
 		logEvery = -1 // Config treats 0 as "use the default"; negative disables.
+	}
+
+	// The journal mirror is append-only so a restart extends, rather than
+	// truncates, the recorded history.
+	var journalSink io.Writer
+	if *journalFile != "" {
+		f, err := os.OpenFile(*journalFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("journal file: %w", err)
+		}
+		defer f.Close()
+		journalSink = f
 	}
 
 	svc, err := service.New(service.Config{
@@ -114,6 +141,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		Seed:             *seed,
 		Logger:           lg,
 		ProgressLogEvery: logEvery,
+		JournalEntries:   *journalSize,
+		JournalSink:      journalSink,
+		SSEHeartbeat:     *sseHeartbeat,
 	})
 	if err != nil {
 		return err
@@ -141,7 +171,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		}
 		dsrv = &http.Server{Handler: debugMux(svc)}
 		defer dsrv.Close()
-		fmt.Fprintf(out, "rumord: debug listener on %s (pprof + metrics)\n", dln.Addr())
+		fmt.Fprintf(out, "rumord: debug listener on %s (pprof + metrics + events)\n", dln.Addr())
 		go dsrv.Serve(dln)
 	}
 
@@ -175,7 +205,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 
 // debugMux wires the pprof handlers onto an explicit mux (avoiding the
 // package's http.DefaultServeMux side registration) next to a mirror of
-// the Prometheus endpoint.
+// the Prometheus endpoint and the flight-recorder/span dump.
 func debugMux(svc *service.Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -184,5 +214,6 @@ func debugMux(svc *service.Service) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metrics", svc.MetricsHandler())
+	mux.Handle("/debug/events", svc.EventsDumpHandler())
 	return mux
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -54,6 +56,9 @@ func TestFlagValidation(t *testing.T) {
 		{"bad log level", []string{"-log-level", "loud"}, 2},
 		{"bad log format", []string{"-log-format", "yaml"}, 2},
 		{"negative progress log every", []string{"-progress-log-every", "-1"}, 2},
+		{"zero journal", []string{"-journal", "0"}, 2},
+		{"zero sse heartbeat", []string{"-sse-heartbeat", "0s"}, 2},
+		{"unwritable journal file", []string{"-addr", "127.0.0.1:0", "-journal-file", "/no/such/dir/journal.jsonl"}, 1},
 		{"unparseable debug address", []string{"-addr", "127.0.0.1:0", "-debug-addr", "999.999.999.999:1"}, 1},
 	}
 	for _, tc := range cases {
@@ -76,9 +81,11 @@ func TestDaemonLifecycle(t *testing.T) {
 	addrCh := make(chan net.Addr, 1)
 	errCh := make(chan error, 1)
 	var out syncBuffer
+	journalFile := filepath.Join(t.TempDir(), "journal.jsonl")
 	go func() {
 		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
-			"-workers", "2", "-drain-grace", "10s", "-log-format", "json", "-log-level", "debug"},
+			"-workers", "2", "-drain-grace", "10s", "-log-format", "json", "-log-level", "debug",
+			"-journal-file", journalFile},
 			&out, func(a net.Addr) { addrCh <- a })
 	}()
 
@@ -168,7 +175,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	if dbase == "" {
 		t.Fatalf("no debug-listener line in output:\n%s", out.String())
 	}
-	for _, path := range []string{"/debug/pprof/cmdline", "/metrics"} {
+	for _, path := range []string{"/debug/pprof/cmdline", "/metrics", "/debug/events"} {
 		resp, err := http.Get(dbase + path)
 		if err != nil {
 			t.Fatalf("debug %s: %v", path, err)
@@ -187,6 +194,13 @@ func TestDaemonLifecycle(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+
+	// -journal-file mirrored the job's flight-recorder entries as JSON lines.
+	if raw, err := os.ReadFile(journalFile); err != nil {
+		t.Errorf("journal file: %v", err)
+	} else if s := string(raw); !strings.Contains(s, `"queued"`) || !strings.Contains(s, "finished: succeeded") {
+		t.Errorf("journal file missing lifecycle entries:\n%s", s)
 	}
 	logged := out.String()
 	for _, want := range []string{"listening on", "bye", `"msg":"job started"`, `"msg":"job finished"`} {

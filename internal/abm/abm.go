@@ -398,6 +398,10 @@ func RunCtx(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*R
 				T:       float64(step) * cfg.Dt,
 				Value:   float64(iCnt) / nf,
 				Elapsed: time.Since(sweepStart),
+				// The compartments partition the node set exactly, so any
+				// non-zero MassErr means the shard deltas corrupted a count
+				// (internal/obs/invariant treats it as a hard violation).
+				MassErr: math.Abs(float64(sCnt+iCnt+rCnt)-nf) / nf,
 			})
 		}
 	}

@@ -147,6 +147,8 @@ func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, o
 
 	// Rebadge the forward integration's StageODE checkpoints so a consumer
 	// can tell the FBSM forward sweep apart from a plain simulation job.
+	// The whole event is forwarded, so the MinI/MassErr invariant fields
+	// core computes reach internal/obs/invariant for forward sweeps too.
 	var fwdProg obs.Progress
 	if opts.Progress != nil {
 		prog := opts.Progress

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"rumornet/internal/degreedist"
+	"rumornet/internal/obs"
 )
 
 // testDist returns a small truncated power-law distribution for fast tests.
@@ -681,5 +682,41 @@ func TestEffectiveR0(t *testing.T) {
 	}
 	if !math.IsInf(m.EffectiveR0(full, 0), 1) {
 		t.Error("EffectiveR0 with eps2=0 should be +Inf")
+	}
+}
+
+// The progress checkpoints must carry healthy invariant fields on a clean
+// run: MinI stays non-negative and MassErr below roundoff, so
+// internal/obs/invariant's monitors stay silent on good trajectories.
+func TestSimulateProgressInvariantFields(t *testing.T) {
+	m := epidemicModel(t)
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.Event
+	_, err = m.Simulate(ic, 50, &SimOptions{
+		Progress:      func(ev obs.Event) { events = append(events, ev) },
+		ProgressEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	for _, ev := range events {
+		if ev.Stage != obs.StageODE {
+			t.Fatalf("stage %q, want %q", ev.Stage, obs.StageODE)
+		}
+		if ev.Value < 0 || ev.Value > 1 {
+			t.Errorf("Θ = %v outside [0, 1] at t=%v", ev.Value, ev.T)
+		}
+		if ev.MinI < 0 {
+			t.Errorf("MinI = %v negative at t=%v on a healthy run", ev.MinI, ev.T)
+		}
+		if ev.MassErr > 1e-9 {
+			t.Errorf("MassErr = %v above roundoff at t=%v", ev.MassErr, ev.T)
+		}
 	}
 }

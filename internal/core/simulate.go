@@ -122,9 +122,28 @@ func (m *Model) SimulateCtx(ctx context.Context, ic []float64, tf float64, opts 
 	oopts := &ode.Options{Record: rec, Ctx: ctx}
 	if opts != nil && opts.Progress != nil {
 		prog := opts.Progress
+		n := m.n
+		alpha := m.p.Alpha
 		oopts.ProgressEvery = opts.ProgressEvery
 		oopts.Progress = func(step, total int, t float64, y []float64) {
-			prog(obs.Event{Stage: obs.StageODE, Step: step, Total: total, T: t, Value: m.Theta(y)})
+			// Checkpoint invariants for internal/obs/invariant: the smallest
+			// group density I_i and the worst excess of S_i+I_i over the
+			// 1+α·t inflow envelope (System (1) gives d(S_i+I_i)/dt ≤ α).
+			// O(n) at the progress cadence — once per 256 steps by default.
+			minI := y[n]
+			massErr := y[0] + y[n] - 1
+			for i := 1; i < n; i++ {
+				if y[n+i] < minI {
+					minI = y[n+i]
+				}
+				if ex := y[i] + y[n+i] - 1; ex > massErr {
+					massErr = ex
+				}
+			}
+			prog(obs.Event{
+				Stage: obs.StageODE, Step: step, Total: total, T: t,
+				Value: m.Theta(y), MinI: minI, MassErr: massErr - alpha*t,
+			})
 		}
 	}
 	if opts != nil && opts.Project {

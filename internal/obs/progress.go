@@ -51,6 +51,17 @@ type Event struct {
 	// Elapsed is the wall time of the unit, where measured (ABM sweep
 	// steps).
 	Elapsed time.Duration
+
+	// MinI is the smallest per-group infected density at the checkpoint
+	// (ODE and FBSM-forward events): negative values mean the integration
+	// undershot the I_i >= 0 bound. internal/obs/invariant watches it.
+	MinI float64
+	// MassErr is the checkpoint's worst mass-conservation excess: for ODE
+	// and FBSM-forward events max_i(S_i+I_i - (1+alpha*t)) — System (1)'s
+	// inflow alpha bounds d(S+I)/dt, so values above ~roundoff mean the
+	// integration is leaking mass; for ABM steps |S+I+R - 1|, which the
+	// exact compartment counts keep at 0. Non-positive values are healthy.
+	MassErr float64
 }
 
 // Progress receives solver checkpoints. A nil Progress means "no

@@ -236,18 +236,40 @@ type Histogram struct {
 	max    atomicFloat
 }
 
-// NewHistogram builds an unregistered histogram (Registry.Histogram is the
-// usual entry point). A nil or empty buckets slice selects DefBuckets;
-// bounds must be ascending.
-func NewHistogram(buckets []float64) *Histogram {
-	if len(buckets) == 0 {
-		buckets = DefBuckets
+// ValidateBuckets checks a histogram bucket layout: the slice must be
+// non-empty, strictly ascending, and every bound finite — the +Inf
+// overflow bucket is implicit, so an explicit +Inf (or any non-finite)
+// bound would silently shadow it, and NewHistogram rejects it here at
+// registration instead. A nil slice is valid (it selects DefBuckets).
+func ValidateBuckets(buckets []float64) error {
+	if buckets == nil {
+		return nil
 	}
-	for i := 1; i < len(buckets); i++ {
-		if buckets[i] <= buckets[i-1] {
-			panic(fmt.Sprintf("obs: histogram buckets not ascending at %d: %g after %g",
-				i, buckets[i], buckets[i-1]))
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram buckets empty (pass nil for DefBuckets)")
+	}
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("histogram bucket %d is %g; bounds must be finite (+Inf is implicit)", i, b)
 		}
+		if i > 0 && b <= buckets[i-1] {
+			return fmt.Errorf("histogram buckets not ascending at %d: %g after %g", i, b, buckets[i-1])
+		}
+	}
+	return nil
+}
+
+// NewHistogram builds an unregistered histogram (Registry.Histogram is the
+// usual entry point). A nil buckets slice selects DefBuckets; anything
+// else must satisfy ValidateBuckets, and a malformed layout panics — a
+// programmer error caught at registration, before any observation is
+// misbinned.
+func NewHistogram(buckets []float64) *Histogram {
+	if err := ValidateBuckets(buckets); err != nil {
+		panic(fmt.Sprintf("obs: %v", err))
+	}
+	if buckets == nil {
+		buckets = DefBuckets
 	}
 	h := &Histogram{
 		upper:  append([]float64(nil), buckets...),

@@ -152,3 +152,55 @@ func TestConcurrentScrape(t *testing.T) {
 		t.Errorf("final scrape missing settled counter:\n%s", sb.String())
 	}
 }
+
+// TestValidateBuckets is the registration-time layout gate: non-monotonic,
+// empty and non-finite bucket slices must be rejected with a clear error
+// before any observation can be misbinned, while nil stays the DefBuckets
+// shorthand.
+func TestValidateBuckets(t *testing.T) {
+	cases := []struct {
+		name    string
+		buckets []float64
+		ok      bool
+	}{
+		{"nil selects defaults", nil, true},
+		{"single bucket", []float64{1}, true},
+		{"ascending", []float64{0.01, 0.1, 1, 10}, true},
+		{"negative bounds ascending", []float64{-5, -1, 0, 2}, true},
+		{"empty non-nil", []float64{}, false},
+		{"descending", []float64{1, 0.1}, false},
+		{"duplicate bound", []float64{1, 1, 2}, false},
+		{"plateau mid-slice", []float64{0.1, 5, 5, 9}, false},
+		{"explicit +Inf", []float64{1, 2, math.Inf(1)}, false},
+		{"-Inf bound", []float64{math.Inf(-1), 0, 1}, false},
+		{"NaN bound", []float64{1, math.NaN(), 3}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateBuckets(tc.buckets)
+			if tc.ok && err != nil {
+				t.Errorf("ValidateBuckets(%v) = %v, want nil", tc.buckets, err)
+			}
+			if !tc.ok && err == nil {
+				t.Errorf("ValidateBuckets(%v) accepted a malformed layout", tc.buckets)
+			}
+		})
+	}
+}
+
+func TestNewHistogramRejectsBadBuckets(t *testing.T) {
+	for name, buckets := range map[string][]float64{
+		"empty":        {},
+		"non-monotone": {2, 1},
+		"infinite":     {1, math.Inf(1)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected a registration panic")
+				}
+			}()
+			NewHistogram(buckets)
+		})
+	}
+}

@@ -48,26 +48,27 @@ func (c *resultCache) get(key string) (json.RawMessage, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// put inserts or refreshes an entry and returns how many entries the LRU
-// bound evicted, so the caller can count them without the cache knowing
-// about metrics.
-func (c *resultCache) put(key string, val json.RawMessage) (evicted int) {
+// put inserts or refreshes an entry and returns the keys the LRU bound
+// evicted, so the caller can count them and release per-key state (journal
+// entries of the evicted jobs) without the cache knowing about either.
+func (c *resultCache) put(key string, val json.RawMessage) (evicted []string) {
 	if c.cap == 0 {
-		return 0
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).val = val
-		return 0
+		return nil
 	}
 	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
-		evicted++
+		k := oldest.Value.(*cacheEntry).key
+		delete(c.m, k)
+		evicted = append(evicted, k)
 	}
 	return evicted
 }

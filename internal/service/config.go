@@ -2,10 +2,12 @@ package service
 
 import (
 	"fmt"
+	"io"
 	"log/slog"
 	"time"
 
 	"rumornet/internal/obs"
+	"rumornet/internal/obs/invariant"
 )
 
 // Config parameterizes a Service. The zero value is not usable directly;
@@ -47,6 +49,26 @@ type Config struct {
 	// debug level (default 25; progress is still always visible on
 	// GET /v1/jobs/{id} regardless). Negative disables progress logging.
 	ProgressLogEvery int
+	// JournalEntries is the per-job capacity of the flight-recorder ring
+	// (default 256): once a job has emitted more events, the oldest are
+	// overwritten and GET /v1/jobs/{id}/events replays only the tail,
+	// revealed by gaps in the seq numbers.
+	JournalEntries int
+	// JournalSink, when non-nil, additionally receives every journal entry
+	// as one JSON line (rumord's -journal-file). Writes happen inline on
+	// the emitting goroutine; hand in a buffered or async writer for slow
+	// destinations.
+	JournalSink io.Writer
+	// TraceSpans bounds the in-memory finished-span ring exported at
+	// /debug/events (default 1024).
+	TraceSpans int
+	// SSEHeartbeat is the idle keep-alive cadence of the
+	// GET /v1/jobs/{id}/events stream (default 15s): a comment line that
+	// defeats idle-connection timeouts in proxies without waking clients.
+	SSEHeartbeat time.Duration
+	// Invariants sets the numerical invariant-monitor tolerances; the zero
+	// value selects internal/obs/invariant's documented defaults.
+	Invariants invariant.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +105,15 @@ func (c Config) withDefaults() Config {
 		c.ProgressLogEvery = 25
 	} else if c.ProgressLogEvery < 0 {
 		c.ProgressLogEvery = 0 // explicit disable
+	}
+	if c.JournalEntries <= 0 {
+		c.JournalEntries = 256
+	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 1024
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
 	}
 	return c
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rumornet/internal/obs"
+	"rumornet/internal/obs/trace"
 )
 
 // Handler returns the service's JSON API:
@@ -22,6 +23,9 @@ import (
 //	GET    /v1/jobs              — list retained jobs
 //	POST   /v1/jobs              — submit a job (202 + snapshot)
 //	GET    /v1/jobs/{id}         — poll a job; result inline when done
+//	GET    /v1/jobs/{id}/events  — replay the job's flight recorder, then
+//	                               stream live events over SSE (?follow=0
+//	                               for replay only)
 //	DELETE /v1/jobs/{id}         — cancel a job
 //
 // Every route runs behind the telemetry middleware: a request id (client
@@ -60,6 +64,7 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := s.Job(r.PathValue("id"))
 		if !ok {
@@ -87,11 +92,15 @@ func (s *Service) MetricsHandler() http.Handler {
 	return obs.Handler(s.met.reg)
 }
 
-// telemetry wraps the API mux with request-id propagation, request logging
-// and HTTP metrics. The request id is the client's X-Request-Id when given
-// (so a caller can correlate across services) or generated; either way it
-// is echoed in the response and attached to the context logger that
-// handlers and the job runner retrieve via obs.LoggerFromContext.
+// telemetry wraps the API mux with request-id and trace propagation,
+// request logging and HTTP metrics. The request id is the client's
+// X-Request-Id when given (so a caller can correlate across services) or
+// generated; either way it is echoed in the response and attached to the
+// context logger that handlers and the job runner retrieve via
+// obs.LoggerFromContext. A W3C traceparent header, when present, parents
+// the per-request span (and through it the job span a submission opens);
+// either way the request's own traceparent is echoed in the response so
+// un-instrumented clients can still grab the trace id.
 func (s *Service) telemetry(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -100,13 +109,25 @@ func (s *Service) telemetry(next http.Handler) http.Handler {
 			rid = fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-Id", rid)
-		lg := s.cfg.Logger.With("request_id", rid)
-		r = r.WithContext(obs.ContextWithLogger(r.Context(), lg))
+
+		parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		span := s.tracer.StartSpan("http.request", parent,
+			obs.L("method", r.Method), obs.L("path", r.URL.Path),
+			obs.L("request_id", rid))
+		sc := span.Context()
+		w.Header().Set("traceparent", sc.Traceparent())
+
+		lg := s.cfg.Logger.With("request_id", rid, "trace_id", sc.TraceID.String())
+		ctx := obs.ContextWithLogger(r.Context(), lg)
+		ctx = trace.ContextWithSpanContext(ctx, sc)
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(sw, r)
 
 		elapsed := time.Since(start)
+		span.SetAttr("status", httpCodeLabel(sw.code))
+		span.End()
 		s.met.httpObserve(r.Method, sw.code, elapsed)
 		lg.Debug("http request",
 			"method", r.Method, "path", r.URL.Path, "status", sw.code,
@@ -123,6 +144,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so the SSE handler can stream
+// through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // scenarioUpload is the body of POST /v1/scenarios.
@@ -152,7 +181,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(req)
+	job, err := s.SubmitCtx(r.Context(), req)
 	if err != nil {
 		writeServiceError(w, err)
 		return

@@ -235,10 +235,14 @@ func (s Status) Terminal() bool {
 // Job is the API view of a submitted job. Result is populated only in
 // StatusSucceeded; Error only in StatusFailed/StatusCancelled.
 type Job struct {
-	ID          string          `json:"id"`
-	Type        JobType         `json:"type"`
-	Scenario    string          `json:"scenario"`
-	Status      Status          `json:"status"`
+	ID       string  `json:"id"`
+	Type     JobType `json:"type"`
+	Scenario string  `json:"scenario"`
+	Status   Status  `json:"status"`
+	// TraceID is the W3C trace the job belongs to: the client's traceparent
+	// trace when the submission carried one, else a server-generated one.
+	// Grep the logs or the journal for it to correlate across layers.
+	TraceID     string          `json:"trace_id,omitempty"`
 	CacheHit    bool            `json:"cache_hit,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`

@@ -336,6 +336,13 @@ func TestE2ENoGoroutineLeak(t *testing.T) {
 			`{"type":"fbsm","scenario":"tiny","params":{"lambda0":0.02,"grid":400000},"timeout_sec":120}`,
 			http.StatusAccepted)
 		e.getRaw("/metrics")
+		// An SSE stream opened and torn down mid-job must not leave its
+		// handler or journal subscriber behind.
+		ch, cancelSSE := e.openSSE("/v1/jobs/" + park.ID + "/events")
+		nextSSE(t, ch, 30*time.Second, func(ev sseEvent) bool { return ev.event != "comment" })
+		cancelSSE()
+		for range ch {
+		}
 		e.do(http.MethodDelete, "/v1/jobs/"+park.ID, "", http.StatusOK, nil)
 		e.wait(park.ID)
 		// newE2E registered ts.Close + svc.Close via t.Cleanup, which runs

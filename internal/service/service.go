@@ -25,6 +25,9 @@ import (
 	"rumornet/internal/degreedist"
 	"rumornet/internal/digg"
 	"rumornet/internal/obs"
+	"rumornet/internal/obs/invariant"
+	"rumornet/internal/obs/journal"
+	"rumornet/internal/obs/trace"
 	"rumornet/internal/par"
 )
 
@@ -61,6 +64,23 @@ type jobRecord struct {
 	// worker's progress sink and read by snapshots without taking
 	// Service.mu: stored values are immutable once published.
 	prog atomic.Pointer[JobProgress]
+
+	// span is the job's trace span, opened at submission (as a child of
+	// the submitting HTTP request when one carried a traceparent) and
+	// ended when the job reaches a terminal status.
+	span *trace.Span
+	// monitor evaluates the numerical invariants against this job's
+	// progress stream; violations land in the journal, the metrics and
+	// the log exactly once per check.
+	monitor *invariant.Monitor
+	// sink is the progress sink runJob wired for this execution, kept so
+	// tests can inject synthetic events through the full pipeline.
+	sink obs.Progress
+
+	// spanMu guards the per-stage child spans; progress events arrive
+	// from concurrent ABM trial goroutines.
+	spanMu     sync.Mutex
+	stageSpans map[string]*trace.Span
 }
 
 // Service is the resident simulation engine behind cmd/rumord.
@@ -69,6 +89,8 @@ type Service struct {
 	scenarios *registry
 	cache     *resultCache
 	met       *metrics
+	tracer    *trace.Tracer
+	journal   *journal.Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -76,7 +98,8 @@ type Service struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*jobRecord
-	order    []string // submission order, for bounded retention
+	order    []string            // submission order, for bounded retention
+	keyJobs  map[string][]string // cache key -> jobs whose journal it retains
 	seq      uint64
 	queue    chan *jobRecord
 	draining bool
@@ -97,7 +120,10 @@ func New(cfg Config) (*Service, error) {
 		scenarios: newRegistry(),
 		cache:     newResultCache(cfg.CacheEntries),
 		met:       newMetrics(),
+		tracer:    trace.New(cfg.TraceSpans),
+		journal:   journal.New(cfg.JournalEntries, cfg.JournalSink),
 		jobs:      make(map[string]*jobRecord),
+		keyJobs:   make(map[string][]string),
 		queue:     make(chan *jobRecord, cfg.QueueDepth),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -160,6 +186,14 @@ func (s *Service) Scenarios() []*Scenario { return s.scenarios.list() }
 // result-cache hit completes the job synchronously (Status ==
 // StatusSucceeded, CacheHit == true) without consuming a queue slot.
 func (s *Service) Submit(req Request) (Job, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with trace propagation: when ctx carries a span
+// context (the HTTP middleware puts the request span there, itself a child
+// of the client's traceparent when one was sent), the job's span — and so
+// every journal entry and log line the job emits — joins that trace.
+func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 	if !validJobType(req.Type) {
 		return Job{}, fmt.Errorf("%w: unknown job type %q (want ode, threshold, abm or fbsm)", ErrBadRequest, req.Type)
 	}
@@ -195,19 +229,25 @@ func (s *Service) Submit(req Request) (Job, error) {
 	}
 	s.seq++
 	now := time.Now()
+	span := s.tracer.StartSpan("job."+string(req.Type),
+		trace.SpanContextFromContext(ctx),
+		obs.L("scenario", req.Scenario))
 	r := &jobRecord{
 		job: Job{
 			ID:          fmt.Sprintf("j-%06d", s.seq),
 			Type:        req.Type,
 			Scenario:    req.Scenario,
 			Status:      StatusQueued,
+			TraceID:     span.Context().TraceID.String(),
 			SubmittedAt: now,
 		},
 		req:     req,
 		sc:      sc,
 		key:     key,
 		timeout: timeout,
+		span:    span,
 	}
+	span.SetAttr("job_id", r.job.ID)
 
 	if raw, hit := s.cache.get(key); hit {
 		s.met.submit()
@@ -219,8 +259,23 @@ func (s *Service) Submit(req Request) (Job, error) {
 		r.job.Result = raw
 		r.job.FinishedAt = &fin
 		s.insertLocked(r)
+		// The hit job's journal lives exactly as long as the cache entry
+		// backing it; record the dependency so eviction trims both.
+		s.keyJobs[key] = append(s.keyJobs[key], r.job.ID)
+		s.journal.Append(journal.Entry{
+			JobID: r.job.ID, TraceID: r.job.TraceID,
+			Kind: journal.KindLifecycle, Msg: "submitted",
+		})
+		s.journal.Append(journal.Entry{
+			JobID: r.job.ID, TraceID: r.job.TraceID,
+			Kind: journal.KindLifecycle, Msg: "finished: succeeded (cache hit)",
+			Final: true,
+		})
+		span.SetAttr("cache_hit", "true")
+		span.End()
 		s.cfg.Logger.Info("job served from cache",
-			"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario)
+			"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario,
+			"trace_id", r.job.TraceID)
 		return r.job, nil
 	}
 
@@ -229,11 +284,16 @@ func (s *Service) Submit(req Request) (Job, error) {
 		s.met.submit()
 		s.met.cacheMiss()
 		s.insertLocked(r)
+		s.journal.Append(journal.Entry{
+			JobID: r.job.ID, TraceID: r.job.TraceID,
+			Kind: journal.KindLifecycle, Msg: "queued",
+		})
 		s.cfg.Logger.Info("job queued",
 			"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario,
-			"timeout", timeout.String())
+			"timeout", timeout.String(), "trace_id", r.job.TraceID)
 		return r.job, nil
 	default:
+		span.End()
 		s.met.reject()
 		s.cfg.Logger.Warn("job rejected", "reason", "queue full", "type", req.Type)
 		return Job{}, ErrQueueFull
@@ -241,7 +301,8 @@ func (s *Service) Submit(req Request) (Job, error) {
 }
 
 // insertLocked records the job and evicts the oldest finished jobs beyond
-// the retention bound. Callers hold s.mu.
+// the retention bound, releasing the evicted jobs' journal entries with
+// them. Callers hold s.mu.
 func (s *Service) insertLocked(r *jobRecord) {
 	s.jobs[r.job.ID] = r
 	s.order = append(s.order, r.job.ID)
@@ -251,6 +312,8 @@ func (s *Service) insertLocked(r *jobRecord) {
 			if rec, ok := s.jobs[id]; ok && rec.job.Status.Terminal() {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				s.journal.Remove(id)
+				s.dropKeyJobLocked(rec.key, id)
 				evicted = true
 				break
 			}
@@ -258,6 +321,35 @@ func (s *Service) insertLocked(r *jobRecord) {
 		if !evicted {
 			break // everything live; let the map exceed the soft bound
 		}
+	}
+}
+
+// dropKeyJobLocked removes one job from the cache-key back-reference list.
+// Callers hold s.mu.
+func (s *Service) dropKeyJobLocked(key, id string) {
+	ids := s.keyJobs[key]
+	for i, jid := range ids {
+		if jid == id {
+			ids = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(s.keyJobs, key)
+	} else {
+		s.keyJobs[key] = ids
+	}
+}
+
+// trimEvicted releases the journal entries of every job whose cached
+// result was just evicted — the hardening contract: once a result is no
+// longer resident, neither is its event history. Callers hold s.mu.
+func (s *Service) trimEvictedLocked(keys []string) {
+	for _, k := range keys {
+		for _, id := range s.keyJobs[k] {
+			s.journal.Remove(id)
+		}
+		delete(s.keyJobs, k)
 	}
 }
 
@@ -305,6 +397,13 @@ func (s *Service) Cancel(id string) (Job, error) {
 		job := r.job
 		s.mu.Unlock()
 		s.met.outcome(StatusCancelled)
+		s.journal.Append(journal.Entry{
+			JobID: id, TraceID: job.TraceID,
+			Kind: journal.KindLifecycle, Msg: "finished: cancelled before start",
+			Final: true,
+		})
+		r.span.SetAttr("status", string(StatusCancelled))
+		r.span.End()
 		s.cfg.Logger.Info("job cancelled while queued", "job_id", id)
 		return job, nil
 	case StatusRunning:
@@ -389,8 +488,25 @@ func (s *Service) worker() {
 }
 
 // runJob executes one dequeued job under its timeout and finalizes its
-// record, metrics and (on success) the result cache.
+// record, metrics, journal, trace span and (on success) the result cache.
 func (s *Service) runJob(r *jobRecord) {
+	// Job-scoped logger, threaded through ctx so solver-adjacent code can
+	// correlate its records with this job and its trace.
+	lg := s.cfg.Logger.With("job_id", r.job.ID, "type", r.job.Type,
+		"trace_id", r.job.TraceID)
+	monitor := invariant.New(s.cfg.Invariants, func(v invariant.Violation) {
+		s.met.invariantViolation(v.Check)
+		s.journal.Append(journal.Entry{
+			JobID: r.job.ID, TraceID: r.job.TraceID,
+			Kind: journal.KindInvariant, Check: v.Check, Msg: v.Msg,
+			Stage: v.Event.Stage, Step: v.Event.Step, T: v.Event.T,
+			Value: v.Event.Value,
+		})
+		lg.Warn("invariant violation", "check", v.Check, "detail", v.Msg,
+			"stage", v.Event.Stage, "step", v.Event.Step, "t", v.Event.T)
+	})
+	sink := s.progressSink(r, monitor, lg)
+
 	s.mu.Lock()
 	if r.job.Status != StatusQueued { // cancelled while queued
 		s.mu.Unlock()
@@ -399,6 +515,8 @@ func (s *Service) runJob(r *jobRecord) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, r.timeout)
 	ctx = withInnerWorkers(ctx, s.cfg.InnerWorkers)
 	r.cancel = cancel
+	r.monitor = monitor
+	r.sink = sink
 	start := time.Now()
 	r.job.Status = StatusRunning
 	r.job.StartedAt = &start
@@ -409,17 +527,23 @@ func (s *Service) runJob(r *jobRecord) {
 	s.met.running.Inc()
 	defer s.met.running.Dec()
 
-	// Job-scoped logger, threaded through ctx so solver-adjacent code can
-	// correlate its records with this job.
-	lg := s.cfg.Logger.With("job_id", r.job.ID, "type", r.job.Type)
 	ctx = obs.ContextWithLogger(ctx, lg)
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLifecycle, Msg: "started",
+	})
 	lg.Info("job started", "queue_wait_ms",
 		float64(start.Sub(r.job.SubmittedAt))/float64(time.Millisecond))
 
-	payload, err := execute(ctx, r.sc, r.req, s.progressSink(r, lg))
+	payload, err := execute(ctx, r.sc, r.req, sink)
 	var raw json.RawMessage
 	if err == nil {
 		raw, err = json.Marshal(payload)
+		// Theorem 5 consistency of the finished trajectory; any violation
+		// lands in the journal before the terminal entry below.
+		if res, ok := payload.(*ODEResult); ok && err == nil {
+			monitor.CheckOutcome(res.R0, res.FinalI)
+		}
 	}
 
 	s.mu.Lock()
@@ -431,9 +555,11 @@ func (s *Service) runJob(r *jobRecord) {
 	case err == nil:
 		r.job.Status = StatusSucceeded
 		r.job.Result = raw
-		if evicted := s.cache.put(r.key, raw); evicted > 0 {
-			s.met.cacheEvictions.Add(int64(evicted))
+		if evicted := s.cache.put(r.key, raw); len(evicted) > 0 {
+			s.met.cacheEvictions.Add(int64(len(evicted)))
+			s.trimEvictedLocked(evicted)
 		}
+		s.keyJobs[r.key] = append(s.keyJobs[r.key], r.job.ID)
 	case r.userCancelled:
 		r.job.Status = StatusCancelled
 		r.job.Error = fmt.Sprintf("cancelled by client: %v", err)
@@ -454,6 +580,15 @@ func (s *Service) runJob(r *jobRecord) {
 
 	s.met.outcome(status)
 	s.met.observe(jobType, elapsed)
+	msg := "finished: " + string(status)
+	if errMsg != "" {
+		msg += ": " + errMsg
+	}
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLifecycle, Msg: msg, Final: true,
+	})
+	r.endSpans(status)
 	if status == StatusSucceeded {
 		lg.Info("job finished", "status", status,
 			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
@@ -463,11 +598,39 @@ func (s *Service) runJob(r *jobRecord) {
 	}
 }
 
+// stageSpan opens the per-stage child span the first time a stage reports;
+// FBSM's repeated forward/backward sweeps share one span per stage. Safe
+// for concurrent progress emitters.
+func (r *jobRecord) stageSpan(tr *trace.Tracer, stage string) {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	if r.stageSpans == nil {
+		r.stageSpans = make(map[string]*trace.Span)
+	}
+	if _, ok := r.stageSpans[stage]; !ok {
+		r.stageSpans[stage] = tr.StartSpan("stage."+stage, r.span.Context())
+	}
+}
+
+// endSpans closes the stage spans and then the job span.
+func (r *jobRecord) endSpans(status Status) {
+	r.spanMu.Lock()
+	for _, sp := range r.stageSpans {
+		sp.End()
+	}
+	r.stageSpans = nil
+	r.spanMu.Unlock()
+	r.span.SetAttr("status", string(status))
+	r.span.End()
+}
+
 // progressSink adapts solver progress events onto the job record (for
-// GET /v1/jobs/{id}), the metrics registry, and — every ProgressLogEvery-th
-// event — the structured log. Solvers may call it from worker goroutines;
-// everything it touches is atomic.
-func (s *Service) progressSink(r *jobRecord, lg *slog.Logger) obs.Progress {
+// GET /v1/jobs/{id}), the flight-recorder journal (replayed and streamed by
+// GET /v1/jobs/{id}/events), the invariant monitor, the per-stage trace
+// spans, the metrics registry, and — every ProgressLogEvery-th event — the
+// structured log. Solvers may call it from worker goroutines; everything it
+// touches is atomic or internally locked.
+func (s *Service) progressSink(r *jobRecord, monitor *invariant.Monitor, lg *slog.Logger) obs.Progress {
 	var n atomic.Int64
 	every := int64(s.cfg.ProgressLogEvery)
 	return func(ev obs.Event) {
@@ -481,6 +644,16 @@ func (s *Service) progressSink(r *jobRecord, lg *slog.Logger) obs.Progress {
 			UpdatedAt: time.Now(),
 		}
 		r.prog.Store(jp)
+		r.stageSpan(s.tracer, ev.Stage)
+		// Monitor first: a violation's journal entry then precedes the
+		// checkpoint that triggered it in the replay, reading causally.
+		monitor.Observe(ev)
+		s.journal.Append(journal.Entry{
+			JobID: r.job.ID, TraceID: r.job.TraceID,
+			Kind: journal.KindProgress, Stage: ev.Stage,
+			Step: ev.Step, Total: ev.Total, T: ev.T, Value: ev.Value,
+			Cost: ev.Cost,
+		})
 		if ev.Stage == obs.StageABM && ev.Elapsed > 0 {
 			s.met.abmStep.Observe(ev.Elapsed.Seconds())
 		}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rumornet/internal/obs"
+	"rumornet/internal/obs/invariant"
 	"rumornet/internal/par"
 )
 
@@ -80,6 +81,9 @@ type metrics struct {
 
 	httpRequests map[string]*obs.Counter // by method; code recorded per call
 	httpDuration *obs.Histogram
+
+	invariants map[string]*obs.Counter // violations by check name
+	sseClients *obs.Gauge              // live /v1/jobs/{id}/events streams
 }
 
 func newMetrics() *metrics {
@@ -119,6 +123,16 @@ func newMetrics() *metrics {
 			"Job execution latency (cache hits excluded).",
 			jobDurationBuckets, obs.L("type", string(t)))
 	}
+	// Pre-register every invariant check so a scrape shows the zero series
+	// (the dashboards' "nothing fired" is an explicit 0, not a gap).
+	m.invariants = map[string]*obs.Counter{}
+	for _, check := range invariant.Checks() {
+		m.invariants[check] = reg.Counter("rumor_invariant_violations_total",
+			"Numerical invariant violations detected by the per-job monitors.",
+			obs.L("check", check))
+	}
+	m.sseClients = reg.Gauge("rumor_sse_clients",
+		"Live GET /v1/jobs/{id}/events streams.")
 	return m
 }
 
@@ -149,6 +163,22 @@ func (m *metrics) registerDerived(s *Service) {
 			}
 			return 1
 		})
+	m.reg.GaugeFunc("rumor_journal_entries",
+		"Flight-recorder entries resident across all jobs.",
+		func() float64 { return float64(s.journal.TotalLen()) })
+	m.reg.GaugeFunc("rumor_journal_dropped_total",
+		"Journal entries dropped on slow SSE subscribers (process lifetime).",
+		func() float64 { return float64(s.journal.Dropped()) })
+	m.reg.GaugeFunc("rumor_trace_spans_finished",
+		"Finished spans resident in the trace ring.",
+		func() float64 { return float64(len(s.tracer.Finished())) })
+}
+
+// invariantViolation counts one fired check.
+func (m *metrics) invariantViolation(check string) {
+	if c := m.invariants[check]; c != nil {
+		c.Inc()
+	}
 }
 
 func (m *metrics) submit()    { m.submitted.Inc() }

@@ -17,12 +17,19 @@
 #       internal/abm: BenchmarkRunProgress{Off,On}
 #     overhead = on ns_per_op / off ns_per_op - 1 per pair; the PR 3
 #     claim is < 5% on the ODE step loop.
+#   pr4 — flight-recorder hook overhead on the same hot loops:
+#       internal/obs/journal: BenchmarkODEJournal{Off,On},
+#                             BenchmarkABMJournal{Off,On}
+#     On attaches the full per-checkpoint service path (stage-span
+#     lookup, invariant monitor, journal ring append); the PR 4 claim
+#     is < 5% overhead on both pairs.
 #
 # Usage:
 #
 #   scripts/bench.sh                 # pr1 -> BENCH_PR1.json
 #   scripts/bench.sh pr2             # pr2 -> BENCH_PR2.json
 #   scripts/bench.sh pr3             # pr3 -> BENCH_PR3.json
+#   scripts/bench.sh pr4             # pr4 -> BENCH_PR4.json
 #   scripts/bench.sh pr2 out.json    # explicit output path
 set -eu
 
@@ -54,8 +61,14 @@ pr3)
 	go test -run '^$' -bench 'BenchmarkRunProgress(Off|On)$' \
 		-benchmem ./internal/abm | tee -a "$tmp"
 	;;
+pr4)
+	out="${2:-BENCH_PR4.json}"
+	note="overhead = on ns_per_op / off ns_per_op - 1 per pair; Off runs the solver hot loop bare, On attaches the service's per-checkpoint flight-recorder path (stage-span lookup, invariant monitor, journal append); both pairs must stay under 5%"
+	go test -run '^$' -bench 'Benchmark(ODE|ABM)Journal(Off|On)$' \
+		-benchmem ./internal/obs/journal | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown suite '$suite' (want pr1, pr2 or pr3)" >&2
+	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3 or pr4)" >&2
 	exit 2
 	;;
 esac

@@ -6,8 +6,10 @@
 #
 # Tier 2 exists because the worker fan-out (internal/par, internal/abm,
 # internal/experiments) and the rumord service stack (internal/service job
-# queue, result cache, concurrent E2E suite) must stay data-race free; -race
-# roughly 10x-es the runtime, so it is a separate gate. Usage:
+# queue, result cache, concurrent E2E suite — including the SSE streaming
+# tests, which exercise journal fan-out, live subscribers and mid-stream
+# cancellation under the detector) must stay data-race free; -race roughly
+# 10x-es the runtime, so it is a separate gate. Usage:
 #
 #   scripts/verify.sh         # tier 1 only
 #   scripts/verify.sh -race   # tier 1 + tier 2
