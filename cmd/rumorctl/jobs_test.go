@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rumornet/internal/cli"
+)
+
+// cannedJobIndex serves a fixed GET /v1/jobs page in the rumord wire format,
+// echoing the query back through the payload so the test can assert the
+// client forwarded -limit and -status.
+func cannedJobIndex(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs" {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("status") == "bogus" {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":"status \"bogus\" unknown"}`)
+			return
+		}
+		if r.URL.Query().Get("limit") == "2" {
+			fmt.Fprint(w, `{"jobs":[
+				{"id":"j-000003","type":"abm","scenario":"digg2009","status":"running","submitted_at":"2026-08-05T12:30:45Z"},
+				{"id":"j-000002","type":"ode","scenario":"tiny","status":"failed","error":"boom","submitted_at":"2026-08-05T12:30:40Z","finished_at":"2026-08-05T12:30:41Z"}
+			],"count":2,"total":5}`)
+			return
+		}
+		fmt.Fprint(w, `{"jobs":[
+			{"id":"j-000001","type":"threshold","scenario":"tiny","status":"succeeded","cache_hit":true,"submitted_at":"2026-08-05T12:30:30Z","finished_at":"2026-08-05T12:30:30Z"}
+		],"count":1,"total":1}`)
+	}))
+}
+
+func TestJobsSubcommand(t *testing.T) {
+	ts := cannedJobIndex(t)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := runJobs([]string{"-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("runJobs: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"ID", "j-000001", "threshold", "succeeded", "cache hit"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "showing") {
+		t.Errorf("full page should not print a truncation note:\n%s", got)
+	}
+
+	// A truncated page names what was cut; the failed row carries its error.
+	out.Reset()
+	if err := runJobs([]string{"-addr", ts.URL, "-limit", "2"}, &out); err != nil {
+		t.Fatalf("runJobs -limit 2: %v", err)
+	}
+	got = out.String()
+	for _, want := range []string{"j-000003", "running", "boom", "(showing 2 of 5; raise -limit for more)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("limited output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Index(got, "j-000003") > strings.Index(got, "j-000002") {
+		t.Errorf("rows not newest-first:\n%s", got)
+	}
+
+	// The daemon's 400 surfaces as its JSON error message.
+	err := runJobs([]string{"-addr", ts.URL, "-status", "bogus"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("bad status: err %v, want the daemon's message", err)
+	}
+}
+
+func TestJobsFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"positional arg", []string{"extra"}},
+		{"negative limit", []string{"-limit", "-1"}},
+		{"unknown flag", []string{"-nope"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runJobs(tc.args, &strings.Builder{})
+			if cli.Code(err) != 2 {
+				t.Errorf("runJobs(%v): err %v, want usage error", tc.args, err)
+			}
+		})
+	}
+}

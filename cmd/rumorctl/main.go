@@ -7,6 +7,7 @@
 //
 //	rumorctl [flags]
 //	rumorctl events [-addr URL] [-follow] <job-id>
+//	rumorctl jobs [-addr URL] [-limit N] [-status S]
 //
 // Examples:
 //
@@ -14,11 +15,13 @@
 //	rumorctl -tf 50 -target 1e-4 -epsmax 0.8
 //	rumorctl -tf 60 -compare-heuristic
 //	rumorctl events -addr http://localhost:8080 -follow j-000001
+//	rumorctl jobs -status failed -limit 20
 //
 // The events subcommand tails a rumord job's flight recorder: it replays
 // the recorded lifecycle, solver-checkpoint and invariant-violation
 // entries and, with -follow, streams new ones live over SSE until the job
-// finishes.
+// finishes. The jobs subcommand lists the daemon's retained jobs newest
+// first, optionally filtered by status.
 package main
 
 import (
@@ -76,8 +79,10 @@ func run(args []string) error {
 		switch args[0] {
 		case "events":
 			return runEvents(args[1:], os.Stdout)
+		case "jobs":
+			return runJobs(args[1:], os.Stdout)
 		default:
-			return cli.Usagef("unknown subcommand %q (supported: events)", args[0])
+			return cli.Usagef("unknown subcommand %q (supported: events, jobs)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("rumorctl", flag.ContinueOnError)

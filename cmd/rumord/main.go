@@ -30,10 +30,20 @@
 //
 // Every job records its lifecycle, solver checkpoints and invariant
 // violations into a per-job ring (-journal entries deep, optionally mirrored
-// as JSON lines to -journal-file); GET /v1/jobs/{id}/events replays the ring
-// and follows live over Server-Sent Events with -sse-heartbeat keep-alives.
-// Incoming W3C traceparent headers parent the request/job/stage spans dumped
-// at /debug/events.
+// as JSON lines to -journal-file, rotated at -journal-max-bytes);
+// GET /v1/jobs/{id}/events replays the ring and follows live over
+// Server-Sent Events with -sse-heartbeat keep-alives. Incoming W3C
+// traceparent headers parent the request/job/stage spans dumped at
+// /debug/events.
+//
+// Persistence: -data-dir makes the daemon durable. Accepted jobs are logged
+// to a write-ahead log (-wal-sync selects the fsync policy) and completed
+// results persisted to a content-addressed store bounded by
+// -store-max-bytes; a restart over the same directory re-enqueues the jobs
+// a crash interrupted and serves completed results without recomputing:
+//
+//	rumord -addr :8080 -data-dir /var/lib/rumord &
+//	curl -s localhost:8080/v1/stats | jq .store
 package main
 
 import (
@@ -52,6 +62,7 @@ import (
 
 	"rumornet/internal/cli"
 	"rumornet/internal/service"
+	"rumornet/internal/store"
 )
 
 func main() {
@@ -79,7 +90,11 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		progEvery    = fs.Int("progress-log-every", 25, "solver progress events between debug-level log records per job (0: disable)")
 		journalSize  = fs.Int("journal", 256, "per-job flight-recorder ring capacity in entries")
 		journalFile  = fs.String("journal-file", "", "append every journal entry as a JSON line to this file (empty: disabled)")
+		journalMax   = fs.Int64("journal-max-bytes", 64<<20, "rotate -journal-file to .1 once it would exceed this size (0: never rotate)")
 		sseHeartbeat = fs.Duration("sse-heartbeat", 15*time.Second, "idle keep-alive cadence of the /v1/jobs/{id}/events stream")
+		dataDir      = fs.String("data-dir", "", "durable store directory: job WAL + result blobs, replayed on restart (empty: in-memory only)")
+		walSync      = fs.String("wal-sync", "100ms", `WAL durability with -data-dir: "always", "none", or a batched-fsync interval`)
+		storeMax     = fs.Int64("store-max-bytes", 1<<30, "result-store size bound, oldest blobs evicted first (0: unbounded)")
 	)
 	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
@@ -111,26 +126,39 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		return cli.Usagef("-progress-log-every = %d must be non-negative", *progEvery)
 	case *journalSize < 1:
 		return cli.Usagef("-journal = %d must be at least 1", *journalSize)
+	case *journalMax < 0:
+		return cli.Usagef("-journal-max-bytes = %d must be non-negative", *journalMax)
 	case *sseHeartbeat <= 0:
 		return cli.Usagef("-sse-heartbeat = %s must be positive", *sseHeartbeat)
+	case *storeMax < 0:
+		return cli.Usagef("-store-max-bytes = %d must be non-negative", *storeMax)
+	}
+	syncMode, syncInterval, err := store.ParseSyncMode(*walSync)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
 	logEvery := *progEvery
 	if logEvery == 0 {
 		logEvery = -1 // Config treats 0 as "use the default"; negative disables.
 	}
 
-	// The journal mirror is append-only so a restart extends, rather than
-	// truncates, the recorded history.
+	// The journal mirror appends across restarts (history extends, never
+	// truncates) and rotates to .1 at the size cap so a chatty daemon
+	// cannot fill the disk.
 	var journalSink io.Writer
 	if *journalFile != "" {
-		f, err := os.OpenFile(*journalFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		w, err := store.NewRotatingWriter(*journalFile, *journalMax)
 		if err != nil {
 			return fmt.Errorf("journal file: %w", err)
 		}
-		defer f.Close()
-		journalSink = f
+		defer w.Close()
+		journalSink = w
 	}
 
+	resultMax := *storeMax
+	if resultMax == 0 {
+		resultMax = -1 // flag 0 = unbounded; store.Options 0 = default bound
+	}
 	svc, err := service.New(service.Config{
 		Workers:          *workers,
 		InnerWorkers:     *innerWorkers,
@@ -144,6 +172,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		JournalEntries:   *journalSize,
 		JournalSink:      journalSink,
 		SSEHeartbeat:     *sseHeartbeat,
+		StoreDir:         *dataDir,
+		StoreOptions: store.Options{
+			SyncMode:       syncMode,
+			SyncInterval:   syncInterval,
+			ResultMaxBytes: resultMax,
+		},
 	})
 	if err != nil {
 		return err

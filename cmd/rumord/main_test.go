@@ -58,6 +58,10 @@ func TestFlagValidation(t *testing.T) {
 		{"negative progress log every", []string{"-progress-log-every", "-1"}, 2},
 		{"zero journal", []string{"-journal", "0"}, 2},
 		{"zero sse heartbeat", []string{"-sse-heartbeat", "0s"}, 2},
+		{"negative journal max bytes", []string{"-journal-max-bytes", "-1"}, 2},
+		{"negative store max bytes", []string{"-store-max-bytes", "-1"}, 2},
+		{"bad wal sync", []string{"-wal-sync", "sometimes"}, 2},
+		{"unwritable data dir", []string{"-addr", "127.0.0.1:0", "-data-dir", "/proc/no-such/data"}, 1},
 		{"unwritable journal file", []string{"-addr", "127.0.0.1:0", "-journal-file", "/no/such/dir/journal.jsonl"}, 1},
 		{"unparseable debug address", []string{"-addr", "127.0.0.1:0", "-debug-addr", "999.999.999.999:1"}, 1},
 	}
@@ -207,6 +211,177 @@ func TestDaemonLifecycle(t *testing.T) {
 		if !strings.Contains(logged, want) {
 			t.Errorf("daemon output missing %q:\n%s", want, logged)
 		}
+	}
+}
+
+// bootDaemon starts run() with the given extra args on an ephemeral port and
+// returns the base URL, the error channel, and the cancel that triggers the
+// graceful-shutdown path.
+func bootDaemon(t *testing.T, extra ...string) (string, chan error, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-grace", "10s"}, extra...)
+	go func() {
+		errCh <- run(ctx, args, io.Discard, func(a net.Addr) { addrCh <- a })
+	}()
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), errCh, cancel
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil, nil
+}
+
+// TestDaemonPersistenceRestart runs the durable-store path through the real
+// binary wiring: a daemon with -data-dir completes a job, shuts down
+// gracefully, and a second daemon over the same directory answers the same
+// request synchronously (HTTP 200, cache_hit) from the recovered store.
+func TestDaemonPersistenceRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	const jobReq = `{"type":"threshold","params":{"lambda0":0.02}}`
+
+	post := func(base, path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+	stop := func(errCh chan error, cancel context.CancelFunc) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	base, errCh, cancel := bootDaemon(t, "-data-dir", dataDir, "-wal-sync", "none")
+	code, raw := post(base, "/v1/jobs", jobReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	var job struct {
+		ID       string `json:"id"`
+		Status   string `json:"status"`
+		Error    string `json:"error"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status != "succeeded" {
+		if time.Now().After(deadline) || job.Status == "failed" {
+			t.Fatalf("job stuck in %q (%s)", job.Status, job.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop(errCh, cancel)
+
+	base2, errCh2, cancel2 := bootDaemon(t, "-data-dir", dataDir, "-wal-sync", "none")
+	code, raw = post(base2, "/v1/jobs", jobReq)
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatal(err)
+	}
+	// 200, not 202: the handler reports terminal submissions as complete, and
+	// the recovered store answers this one without recomputing.
+	if code != http.StatusOK || !job.CacheHit || job.Status != "succeeded" {
+		t.Fatalf("resubmit after restart: %d cache_hit=%v status=%s (%s), want 200 + cache hit",
+			code, job.CacheHit, job.Status, raw)
+	}
+
+	// The stats surface confirms the store is live and recovered the result.
+	resp, err := http.Get(base2 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsRaw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Store *struct {
+			RecoveredResults int64 `json:"recovered_results"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(statsRaw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil || stats.Store.RecoveredResults < 1 {
+		t.Errorf("stats store section = %s, want recovered_results >= 1", statsRaw)
+	}
+	stop(errCh2, cancel2)
+}
+
+// TestJournalRotation forces the -journal-file sink over a tiny
+// -journal-max-bytes so the daemon rotates it to .1 mid-run.
+func TestJournalRotation(t *testing.T) {
+	journalFile := filepath.Join(t.TempDir(), "journal.jsonl")
+	base, errCh, cancel := bootDaemon(t,
+		"-journal-file", journalFile, "-journal-max-bytes", "512", "-workers", "2")
+	defer cancel()
+
+	post := func(body string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// Each job mirrors several journal lines; a handful blows past 512 bytes.
+	for seed := 1; seed <= 8; seed++ {
+		post(fmt.Sprintf(`{"type":"threshold","params":{"lambda0":0.02,"seed":%d}}`, seed))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(journalFile + ".1"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never rotated to .1")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	cur, err := os.ReadFile(journalFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur) > 512+256 {
+		t.Errorf("active journal grew to %d bytes despite the 512-byte cap", len(cur))
 	}
 }
 

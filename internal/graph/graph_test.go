@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -449,15 +450,76 @@ func TestReadEdgeListSparseIDs(t *testing.T) {
 
 func TestReadEdgeListErrors(t *testing.T) {
 	cases := []string{
-		"1\n",    // too few fields
-		"a b\n",  // non-numeric source
-		"1 b\n",  // non-numeric target
-		"-1 2\n", // negative id
+		"1\n",     // too few fields
+		"a b\n",   // non-numeric source
+		"1 b\n",   // non-numeric target
+		"-1 2\n",  // negative id
+		"0 1\n2",  // truncated tail: last line cut mid-record, no newline
+		"1 -2\n",  // negative target
+		"1 99999999999999999999\n", // target overflows int64
 	}
 	for _, in := range cases {
 		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
 			t.Errorf("ReadEdgeList(%q): want error", in)
 		}
+	}
+}
+
+// TestReadEdgeListDegenerate pins the parser's behavior on inputs that are
+// empty rather than corrupt: no edges is a valid (order-zero) graph, not an
+// error — rumord boots fine over an empty upload the same way the WAL
+// replays fine over a zero-length segment.
+func TestReadEdgeListDegenerate(t *testing.T) {
+	for _, in := range []string{"", "\n\n", "# only a comment\n", "  \n\t\n# c\n"} {
+		g, ids, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("ReadEdgeList(%q): %v", in, err)
+			continue
+		}
+		if g.NumNodes() != 0 || g.NumEdges() != 0 || len(ids) != 0 {
+			t.Errorf("ReadEdgeList(%q): nodes=%d edges=%d ids=%d, want an empty graph",
+				in, g.NumNodes(), g.NumEdges(), len(ids))
+		}
+	}
+}
+
+// TestReadEdgeListErrorLine checks diagnostics point at the offending line
+// (counting comments and blanks), so a multi-megabyte upload is debuggable.
+func TestReadEdgeListErrorLine(t *testing.T) {
+	in := "# header\n0 1\n\n0 oops\n"
+	_, _, err := ReadEdgeList(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("err = %v, want a complaint about line 4", err)
+	}
+}
+
+// TestReadEdgeListOverlongLine drives the scanner past its 1 MiB line cap:
+// the parser must fail cleanly (no panic, no silent truncation).
+func TestReadEdgeListOverlongLine(t *testing.T) {
+	in := "0 1\n# " + strings.Repeat("x", 2*1024*1024) + "\n1 0\n"
+	if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+		t.Error("2 MiB line: want a scan error, got nil")
+	}
+}
+
+// errReader fails after its prefix is consumed, simulating a read error
+// (network drop, truncated pipe) mid-file.
+type errReader struct {
+	prefix *strings.Reader
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.prefix.Len() > 0 {
+		return r.prefix.Read(p)
+	}
+	return 0, fmt.Errorf("synthetic read failure")
+}
+
+func TestReadEdgeListReaderFailure(t *testing.T) {
+	r := &errReader{prefix: strings.NewReader("0 1\n1 2\n")}
+	_, _, err := ReadEdgeList(r)
+	if err == nil || !strings.Contains(err.Error(), "synthetic read failure") {
+		t.Errorf("err = %v, want the wrapped reader failure", err)
 	}
 }
 

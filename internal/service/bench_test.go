@@ -78,6 +78,51 @@ func BenchmarkJobCacheHit(b *testing.B) {
 	}
 }
 
+// benchJobThroughput measures sustained job throughput on the standard
+// workload — ODE integrations over the built-in Digg2009 scenario, the job
+// the paper's experiments submit (~tens of ms each; a distinct cache key
+// every iteration, so each one executes). Jobs are submitted in waves that
+// keep the worker pool saturated, the way real clients drive a daemon, so
+// the store's per-job filesystem work overlaps other jobs' compute instead
+// of being measured as serial latency.
+func benchJobThroughput(b *testing.B, cfg Config) {
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	req := Request{Type: JobODE, Params: Params{Lambda0: 0.02, Tf: 150, Points: 150}}
+	const wave = 16 // well under the default queue depth
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := min(wave, b.N-done)
+		ids := make([]string, 0, n)
+		for j := 0; j < n; j++ {
+			req.Params.Seed = int64(done + j + 1)
+			job, err := s.Submit(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, job.ID)
+		}
+		for _, id := range ids {
+			benchWait(b, s, id)
+		}
+		done += n
+	}
+}
+
+// BenchmarkJobThroughputWALOff/On are the BENCH_PR5 acceptance pair: the
+// durable store (batched fsync, the default policy) must hold job
+// throughput within a few percent of the in-memory service.
+func BenchmarkJobThroughputWALOff(b *testing.B) {
+	benchJobThroughput(b, Config{Workers: 2})
+}
+
+func BenchmarkJobThroughputWALOn(b *testing.B) {
+	benchJobThroughput(b, Config{Workers: 2, StoreDir: b.TempDir()})
+}
+
 // BenchmarkSubmitReject measures the fast-fail path for invalid requests:
 // the cost of a 400 before any queue or solver work.
 func BenchmarkSubmitReject(b *testing.B) {

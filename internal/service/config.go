@@ -8,6 +8,7 @@ import (
 
 	"rumornet/internal/obs"
 	"rumornet/internal/obs/invariant"
+	"rumornet/internal/store"
 )
 
 // Config parameterizes a Service. The zero value is not usable directly;
@@ -69,6 +70,18 @@ type Config struct {
 	// Invariants sets the numerical invariant-monitor tolerances; the zero
 	// value selects internal/obs/invariant's documented defaults.
 	Invariants invariant.Config
+	// StoreDir, when non-empty, opens (creating if needed) the durable job
+	// store rooted there: every accepted job is logged to a write-ahead log
+	// and every result persisted to a content-addressed blob store, so a
+	// restarted daemon re-enqueues unfinished jobs and serves completed
+	// results without recomputing them (rumord's -data-dir). Empty keeps
+	// the service fully in-memory.
+	StoreDir string
+	// StoreOptions tunes the store when StoreDir is set (sync policy,
+	// segment sizing, result retention). The Logger defaults to Config.
+	// Logger and the Hooks are always overridden to feed the service's
+	// metrics registry.
+	StoreOptions store.Options
 }
 
 func (c Config) withDefaults() Config {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"rumornet/internal/obs"
@@ -20,7 +21,8 @@ import (
 //	GET    /v1/scenarios         — list registered scenarios
 //	POST   /v1/scenarios         — register an uploaded P(k) table
 //	GET    /v1/scenarios/{name}  — one scenario's summary
-//	GET    /v1/jobs              — list retained jobs
+//	GET    /v1/jobs              — bounded newest-first job index
+//	                               (?limit=N&status=queued|running|...)
 //	POST   /v1/jobs              — submit a job (202 + snapshot)
 //	GET    /v1/jobs/{id}         — poll a job; result inline when done
 //	GET    /v1/jobs/{id}/events  — replay the job's flight recorder, then
@@ -60,9 +62,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, sc)
 	})
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
-	})
+	mux.HandleFunc("GET /v1/jobs", s.handleJobIndex)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -173,6 +173,45 @@ func (s *Service) handleRegisterScenario(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	writeJSON(w, http.StatusCreated, sc)
+}
+
+// Bounds of the GET /v1/jobs index: the default page and the hard cap a
+// client may raise it to (MaxJobs can retain thousands of records; the
+// index stays one bounded response either way).
+const (
+	defaultJobIndexLimit = 100
+	maxJobIndexLimit     = 1000
+)
+
+// handleJobIndex serves GET /v1/jobs: up to ?limit= retained jobs (default
+// 100, capped at 1000), newest submission first, optionally filtered by
+// ?status=. "total" counts every retained job matching the filter, so
+// clients can tell a full page from the full set.
+func (s *Service) handleJobIndex(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := defaultJobIndexLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("limit %q must be a positive integer", v))
+			return
+		}
+		limit = n
+	}
+	if limit > maxJobIndexLimit {
+		limit = maxJobIndexLimit
+	}
+	status := Status(q.Get("status"))
+	if status != "" && !validStatus(status) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("status %q unknown (want queued, running, succeeded, failed or cancelled)", status))
+		return
+	}
+	jobs, total := s.JobIndex(limit, status)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs": jobs, "count": len(jobs), "total": total,
+	})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

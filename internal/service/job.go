@@ -232,6 +232,14 @@ func (s Status) Terminal() bool {
 	return s == StatusSucceeded || s == StatusFailed || s == StatusCancelled
 }
 
+func validStatus(s Status) bool {
+	switch s {
+	case StatusQueued, StatusRunning, StatusSucceeded, StatusFailed, StatusCancelled:
+		return true
+	}
+	return false
+}
+
 // Job is the API view of a submitted job. Result is populated only in
 // StatusSucceeded; Error only in StatusFailed/StatusCancelled.
 type Job struct {

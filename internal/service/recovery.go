@@ -1,0 +1,233 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rumornet/internal/obs/journal"
+	"rumornet/internal/obs/trace"
+	"rumornet/internal/store"
+)
+
+// This file is the service side of the durable job store: the WAL append
+// helpers called on the submission and execution paths, and the startup
+// recovery that turns a write-ahead log plus result store back into live
+// service state. The contract with runJob/Cancel:
+//
+//   - every job that enters the queue gets an opSubmitted record (with the
+//     full request, so recovery can re-enqueue it verbatim);
+//   - every terminal outcome the service *chose* (success, failure, user
+//     cancellation, timeout) gets an opFinished record;
+//   - a shutdown-cancelled job gets NO terminal record — crash and
+//     redeploy look identical in the log, and both re-run the job.
+//
+// WAL errors never fail the job: the daemon keeps serving from memory and
+// the failure is counted (rumor_store_wal_errors_total) and logged.
+
+// walSubmitted logs a job's enqueue. Callers hold s.mu.
+func (s *Service) walSubmitted(r *jobRecord) {
+	if s.store == nil {
+		return
+	}
+	blob, err := json.Marshal(r.req)
+	if err == nil {
+		err = s.store.AppendSubmitted(store.JobState{
+			ID: r.job.ID, Seq: r.seq, Request: blob, Key: r.key,
+			TraceID: r.job.TraceID, SubmittedAt: r.job.SubmittedAt,
+		})
+	}
+	s.walErrored("submitted", r.job.ID, err)
+}
+
+// walStarted logs a job's transition to running. Callers hold s.mu.
+func (s *Service) walStarted(id string) {
+	if s.store == nil {
+		return
+	}
+	s.walErrored("started", id, s.store.AppendStarted(id))
+}
+
+// walFinished logs a terminal outcome. Callers hold s.mu, so the record is
+// on disk before any poller can observe the terminal status.
+func (s *Service) walFinished(id string, status Status) {
+	if s.store == nil {
+		return
+	}
+	s.walErrored("finished", id, s.store.AppendFinished(id, string(status)))
+}
+
+// storePutResult persists a succeeded job's result blob. Callers hold s.mu.
+func (s *Service) storePutResult(key string, raw json.RawMessage) {
+	if s.store == nil {
+		return
+	}
+	s.walErrored("put result", key, s.store.PutResult(key, raw))
+}
+
+// walErrored counts and logs a failed store operation (no-op on nil).
+func (s *Service) walErrored(op, id string, err error) {
+	if err == nil {
+		return
+	}
+	s.met.walErrors.Inc()
+	s.cfg.Logger.Warn("durable store operation failed",
+		"op", op, "id", id, "error", err.Error())
+}
+
+// recoverFromStore rebuilds service state from an opened store: completed
+// results warm the memory cache (newest first, bounded by its capacity),
+// unfinished jobs re-enter the queue under their original ids, and the
+// sequence counter resumes above everything the log has seen. Called from
+// New after scenario registration and before the workers start; the lock
+// discipline of the helpers it shares with the live paths still applies.
+func (s *Service) recoverFromStore() {
+	keys := s.store.ResultKeys()
+	if limit := s.cfg.CacheEntries; limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	warmed := 0
+	// Oldest of the kept set first, so the newest results end up most
+	// recently used and survive LRU pressure longest.
+	for i := len(keys) - 1; i >= 0; i-- {
+		if blob, ok := s.store.GetResult(keys[i]); ok {
+			s.cache.put(keys[i], json.RawMessage(blob))
+			warmed++
+		}
+	}
+	s.met.recoveredResults.Add(int64(warmed))
+
+	if max := s.store.MaxSeq(); s.seq < max {
+		s.seq = max
+	}
+	pending := s.store.PendingJobs()
+	requeued, served, failed := 0, 0, 0
+	for _, js := range pending {
+		switch s.requeueRecovered(js) {
+		case StatusQueued:
+			requeued++
+		case StatusSucceeded:
+			served++
+		default:
+			failed++
+		}
+	}
+	s.met.recoveredJobs.Add(int64(requeued))
+	if warmed > 0 || len(pending) > 0 {
+		s.cfg.Logger.Info("recovery complete",
+			"results_warmed", warmed, "jobs_requeued", requeued,
+			"jobs_served_from_cache", served, "jobs_failed", failed,
+			"next_seq", s.seq+1)
+	}
+}
+
+// requeueRecovered re-admits one logged-but-unfinished job and returns the
+// status it settled into: StatusQueued (re-enqueued), StatusSucceeded (its
+// result was already on disk — the crash hit between the blob write and
+// the terminal record) or StatusFailed (the request no longer resolves,
+// e.g. an uploaded scenario that was not re-registered, or the queue is
+// full). Failures get a terminal WAL record so the log stops re-delivering
+// them; either way the job is visible to GET /v1/jobs under its old id.
+func (s *Service) requeueRecovered(js store.JobState) Status {
+	var req Request
+	reason := ""
+	if err := json.Unmarshal(js.Request, &req); err != nil {
+		reason = fmt.Sprintf("recovery: undecodable request: %v", err)
+	}
+	var (
+		sc      *Scenario
+		key     string
+		timeout time.Duration
+	)
+	if reason == "" {
+		var err error
+		req, sc, key, timeout, err = s.resolveRequest(req)
+		if err != nil {
+			reason = fmt.Sprintf("recovery: %v", err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.jobs[js.ID]; dup {
+		return StatusFailed // defensive: the log should never duplicate ids
+	}
+	submitted := js.SubmittedAt
+	if submitted.IsZero() {
+		submitted = time.Now()
+	}
+	span := s.tracer.StartSpan("job."+string(req.Type), trace.SpanContext{})
+	span.SetAttr("job_id", js.ID)
+	span.SetAttr("recovered", "true")
+	r := &jobRecord{
+		job: Job{
+			ID:          js.ID,
+			Type:        req.Type,
+			Scenario:    req.Scenario,
+			Status:      StatusQueued,
+			TraceID:     span.Context().TraceID.String(),
+			SubmittedAt: submitted,
+		},
+		req:     req,
+		sc:      sc,
+		key:     key,
+		seq:     js.Seq,
+		timeout: timeout,
+		span:    span,
+	}
+
+	if reason == "" {
+		// The job may have completed just before the crash: result blob
+		// written, terminal record lost. The warmed cache answers it.
+		if raw, hit := s.cache.get(key); hit {
+			s.met.outcome(StatusSucceeded)
+			fin := time.Now()
+			r.job.Status = StatusSucceeded
+			r.job.CacheHit = true
+			r.job.Result = raw
+			r.job.FinishedAt = &fin
+			s.walFinished(js.ID, StatusSucceeded)
+			s.insertLocked(r)
+			s.keyJobs[key] = append(s.keyJobs[key], js.ID)
+			s.journal.Append(journal.Entry{
+				JobID: js.ID, TraceID: r.job.TraceID,
+				Kind: journal.KindLifecycle, Msg: "finished: succeeded (recovered result)",
+				Final: true,
+			})
+			span.SetAttr("status", string(StatusSucceeded))
+			span.End()
+			return StatusSucceeded
+		}
+		select {
+		case s.queue <- r:
+			s.insertLocked(r)
+			s.journal.Append(journal.Entry{
+				JobID: js.ID, TraceID: r.job.TraceID,
+				Kind: journal.KindLifecycle, Msg: "recovered: re-queued after restart",
+			})
+			s.cfg.Logger.Info("job recovered",
+				"job_id", js.ID, "type", req.Type, "scenario", req.Scenario,
+				"was_started", js.Started)
+			return StatusQueued
+		default:
+			reason = "recovery: queue full"
+		}
+	}
+
+	s.met.outcome(StatusFailed)
+	fin := time.Now()
+	r.job.Status = StatusFailed
+	r.job.Error = reason
+	r.job.FinishedAt = &fin
+	s.walFinished(js.ID, StatusFailed)
+	s.insertLocked(r)
+	s.journal.Append(journal.Entry{
+		JobID: js.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLifecycle, Msg: "finished: failed: " + reason,
+		Final: true,
+	})
+	span.SetAttr("status", string(StatusFailed))
+	span.End()
+	s.cfg.Logger.Warn("recovered job failed", "job_id", js.ID, "error", reason)
+	return StatusFailed
+}

@@ -29,6 +29,7 @@ import (
 	"rumornet/internal/obs/journal"
 	"rumornet/internal/obs/trace"
 	"rumornet/internal/par"
+	"rumornet/internal/store"
 )
 
 // Sentinel errors mapped to HTTP statuses by handlers.go.
@@ -55,6 +56,7 @@ type jobRecord struct {
 	req     Request
 	sc      *Scenario
 	key     string
+	seq     uint64
 	timeout time.Duration
 
 	cancel        context.CancelFunc // non-nil while running
@@ -91,6 +93,9 @@ type Service struct {
 	met       *metrics
 	tracer    *trace.Tracer
 	journal   *journal.Journal
+	// store is the durable WAL + result store (nil without Config.StoreDir).
+	// Set once in New before the workers start, never mutated after.
+	store *store.Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -127,6 +132,31 @@ func New(cfg Config) (*Service, error) {
 		queue:     make(chan *jobRecord, cfg.QueueDepth),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	// The store opens before registerDerived (its gauges close over s.store)
+	// and before the workers start (recovery re-enqueues ahead of any
+	// live submission).
+	if cfg.StoreDir != "" {
+		opts := cfg.StoreOptions
+		if opts.Logger == nil {
+			opts.Logger = cfg.Logger
+		}
+		opts.Hooks = store.Hooks{
+			OnAppend: func(d time.Duration) { s.met.walAppend.Observe(d.Seconds()) },
+			OnFsync:  func(d time.Duration) { s.met.walFsync.Observe(d.Seconds()) },
+		}
+		st, err := store.Open(cfg.StoreDir, opts)
+		if err != nil {
+			return nil, fmt.Errorf("service: open store: %w", err)
+		}
+		s.store = st
+	}
+	fail := func(err error) (*Service, error) {
+		if s.store != nil {
+			s.store.Close()
+		}
+		return nil, err
+	}
 	s.met.registerDerived(s)
 
 	// The built-in scenario is the expensive one (a 71k-user synthetic
@@ -134,10 +164,13 @@ func New(cfg Config) (*Service, error) {
 	// one-shot CLIs cannot offer.
 	dist, err := digg.Dist(rand.New(rand.NewSource(cfg.Seed)))
 	if err != nil {
-		return nil, fmt.Errorf("service: built-in scenario: %w", err)
+		return fail(fmt.Errorf("service: built-in scenario: %w", err))
 	}
 	if _, err := s.scenarios.register(BuiltinScenario, "builtin", dist); err != nil {
-		return nil, err
+		return fail(err)
+	}
+	if s.store != nil {
+		s.recoverFromStore()
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -146,7 +179,8 @@ func New(cfg Config) (*Service, error) {
 	}
 	cfg.Logger.Info("service started",
 		"workers", cfg.Workers, "inner_workers", cfg.InnerWorkers,
-		"queue_depth", cfg.QueueDepth, "cache_entries", cfg.CacheEntries)
+		"queue_depth", cfg.QueueDepth, "cache_entries", cfg.CacheEntries,
+		"store_dir", cfg.StoreDir)
 	return s, nil
 }
 
@@ -194,31 +228,10 @@ func (s *Service) Submit(req Request) (Job, error) {
 // of the client's traceparent when one was sent), the job's span — and so
 // every journal entry and log line the job emits — joins that trace.
 func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
-	if !validJobType(req.Type) {
-		return Job{}, fmt.Errorf("%w: unknown job type %q (want ode, threshold, abm or fbsm)", ErrBadRequest, req.Type)
+	req, sc, key, timeout, err := s.resolveRequest(req)
+	if err != nil {
+		return Job{}, err
 	}
-	if req.Scenario == "" {
-		req.Scenario = BuiltinScenario
-	}
-	sc, ok := s.scenarios.get(req.Scenario)
-	if !ok {
-		return Job{}, fmt.Errorf("%w: unknown scenario %q", ErrBadRequest, req.Scenario)
-	}
-	req.Params = req.Params.withDefaults(req.Type)
-	if err := req.Params.validate(req.Type); err != nil {
-		return Job{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	if req.TimeoutSec < 0 {
-		return Job{}, fmt.Errorf("%w: timeout_sec = %g must be non-negative", ErrBadRequest, req.TimeoutSec)
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutSec > 0 {
-		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	key := cacheKey(req.Type, sc.Fingerprint, req.Params)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -244,39 +257,27 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 		req:     req,
 		sc:      sc,
 		key:     key,
+		seq:     s.seq,
 		timeout: timeout,
 		span:    span,
 	}
 	span.SetAttr("job_id", r.job.ID)
 
 	if raw, hit := s.cache.get(key); hit {
-		s.met.submit()
-		s.met.cacheHit()
-		s.met.outcome(StatusSucceeded)
-		fin := time.Now()
-		r.job.Status = StatusSucceeded
-		r.job.CacheHit = true
-		r.job.Result = raw
-		r.job.FinishedAt = &fin
-		s.insertLocked(r)
-		// The hit job's journal lives exactly as long as the cache entry
-		// backing it; record the dependency so eviction trims both.
-		s.keyJobs[key] = append(s.keyJobs[key], r.job.ID)
-		s.journal.Append(journal.Entry{
-			JobID: r.job.ID, TraceID: r.job.TraceID,
-			Kind: journal.KindLifecycle, Msg: "submitted",
-		})
-		s.journal.Append(journal.Entry{
-			JobID: r.job.ID, TraceID: r.job.TraceID,
-			Kind: journal.KindLifecycle, Msg: "finished: succeeded (cache hit)",
-			Final: true,
-		})
-		span.SetAttr("cache_hit", "true")
-		span.End()
-		s.cfg.Logger.Info("job served from cache",
-			"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario,
-			"trace_id", r.job.TraceID)
-		return r.job, nil
+		return s.finishCacheHitLocked(r, raw, "memory"), nil
+	}
+	// Memory miss: a result persisted by an earlier process life (or
+	// evicted by the LRU bound since) may still be on disk. The read also
+	// repopulates the memory cache, so one submission pays the disk I/O.
+	if s.store != nil {
+		if blob, ok := s.store.GetResult(key); ok {
+			raw := json.RawMessage(blob)
+			if evicted := s.cache.put(key, raw); len(evicted) > 0 {
+				s.met.cacheEvictions.Add(int64(len(evicted)))
+				s.trimEvictedLocked(evicted)
+			}
+			return s.finishCacheHitLocked(r, raw, "disk"), nil
+		}
 	}
 
 	select {
@@ -284,6 +285,7 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 		s.met.submit()
 		s.met.cacheMiss()
 		s.insertLocked(r)
+		s.walSubmitted(r)
 		s.journal.Append(journal.Entry{
 			JobID: r.job.ID, TraceID: r.job.TraceID,
 			Kind: journal.KindLifecycle, Msg: "queued",
@@ -298,6 +300,75 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 		s.cfg.Logger.Warn("job rejected", "reason", "queue full", "type", req.Type)
 		return Job{}, ErrQueueFull
 	}
+}
+
+// resolveRequest validates a request, resolves its scenario, canonicalizes
+// the parameters, and derives the timeout and cache key. Shared by
+// SubmitCtx and startup recovery so a recovered request passes exactly the
+// submission-time checks.
+func (s *Service) resolveRequest(req Request) (Request, *Scenario, string, time.Duration, error) {
+	if !validJobType(req.Type) {
+		return req, nil, "", 0, fmt.Errorf("%w: unknown job type %q (want ode, threshold, abm or fbsm)", ErrBadRequest, req.Type)
+	}
+	if req.Scenario == "" {
+		req.Scenario = BuiltinScenario
+	}
+	sc, ok := s.scenarios.get(req.Scenario)
+	if !ok {
+		return req, nil, "", 0, fmt.Errorf("%w: unknown scenario %q", ErrBadRequest, req.Scenario)
+	}
+	req.Params = req.Params.withDefaults(req.Type)
+	if err := req.Params.validate(req.Type); err != nil {
+		return req, nil, "", 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.TimeoutSec < 0 {
+		return req, nil, "", 0, fmt.Errorf("%w: timeout_sec = %g must be non-negative", ErrBadRequest, req.TimeoutSec)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	key := cacheKey(req.Type, sc.Fingerprint, req.Params)
+	return req, sc, key, timeout, nil
+}
+
+// finishCacheHitLocked completes a submission synchronously from a cached
+// result (source: "memory" or "disk") — no queue slot, no execution.
+// Callers hold s.mu and have r.job initialized to StatusQueued.
+func (s *Service) finishCacheHitLocked(r *jobRecord, raw json.RawMessage, source string) Job {
+	s.met.submit()
+	s.met.cacheHit()
+	if source == "disk" {
+		s.met.diskHits.Inc()
+	}
+	s.met.outcome(StatusSucceeded)
+	fin := time.Now()
+	r.job.Status = StatusSucceeded
+	r.job.CacheHit = true
+	r.job.Result = raw
+	r.job.FinishedAt = &fin
+	s.insertLocked(r)
+	// The hit job's journal lives exactly as long as the cache entry
+	// backing it; record the dependency so eviction trims both.
+	s.keyJobs[r.key] = append(s.keyJobs[r.key], r.job.ID)
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLifecycle, Msg: "submitted",
+	})
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLifecycle, Msg: "finished: succeeded (cache hit)",
+		Final: true,
+	})
+	r.span.SetAttr("cache_hit", source)
+	r.span.End()
+	s.cfg.Logger.Info("job served from cache",
+		"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario,
+		"source", source, "trace_id", r.job.TraceID)
+	return r.job
 }
 
 // insertLocked records the job and evicts the oldest finished jobs beyond
@@ -378,6 +449,32 @@ func (s *Service) Jobs() []Job {
 	return out
 }
 
+// JobIndex returns up to limit retained jobs, newest submission first,
+// optionally filtered by status (""), plus the total number of retained
+// jobs matching the filter — the bounded GET /v1/jobs view: a daemon that
+// has retained thousands of jobs answers in one small page.
+func (s *Service) JobIndex(limit int, status Status) ([]Job, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := limit
+	if n > len(s.order) {
+		n = len(s.order)
+	}
+	out := make([]Job, 0, n)
+	total := 0
+	for i := len(s.order) - 1; i >= 0; i-- {
+		r, ok := s.jobs[s.order[i]]
+		if !ok || (status != "" && r.job.Status != status) {
+			continue
+		}
+		total++
+		if len(out) < limit {
+			out = append(out, r.snapshot())
+		}
+	}
+	return out, total
+}
+
 // Cancel stops a job: queued jobs finish immediately as cancelled, running
 // jobs have their context cancelled and settle asynchronously. Cancelling
 // a finished job is a no-op returning its final snapshot.
@@ -391,6 +488,9 @@ func (s *Service) Cancel(id string) (Job, error) {
 	switch r.job.Status {
 	case StatusQueued:
 		fin := time.Now()
+		// Terminal record first: once a poller can observe the cancelled
+		// status the WAL will not re-enqueue the job after a restart.
+		s.walFinished(r.job.ID, StatusCancelled)
 		r.job.Status = StatusCancelled
 		r.job.Error = "cancelled before start"
 		r.job.FinishedAt = &fin
@@ -434,6 +534,15 @@ func (s *Service) Stats() Stats {
 	st.Cache.Entries = s.cache.len()
 	st.Cache.Capacity = s.cfg.CacheEntries
 	s.met.snapshot(&st)
+	if s.store != nil {
+		st.Store = &StoreStats{
+			Stats:            s.store.Snapshot(),
+			RecoveredJobs:    s.met.recoveredJobs.Value(),
+			RecoveredResults: s.met.recoveredResults.Value(),
+			ResultHits:       s.met.diskHits.Value(),
+			WALErrors:        s.met.walErrors.Value(),
+		}
+	}
 	return st
 }
 
@@ -464,11 +573,19 @@ func (s *Service) Drain(ctx context.Context) error {
 }
 
 // Close shuts down immediately: intake stops, running jobs are cancelled,
-// and Close blocks until the workers exit.
+// and Close blocks until the workers exit. Shutdown-cancelled jobs get no
+// terminal WAL record on purpose: a restart over the same data directory
+// re-enqueues them (see recoverFromStore). The store closes last so every
+// worker's appends land.
 func (s *Service) Close() {
 	s.stopIntake()
 	s.baseCancel()
 	s.wg.Wait()
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			s.cfg.Logger.Warn("store close failed", "error", err.Error())
+		}
+	}
 }
 
 func (s *Service) stopIntake() {
@@ -520,6 +637,7 @@ func (s *Service) runJob(r *jobRecord) {
 	start := time.Now()
 	r.job.Status = StatusRunning
 	r.job.StartedAt = &start
+	s.walStarted(r.job.ID)
 	s.mu.Unlock()
 	defer cancel()
 
@@ -545,12 +663,23 @@ func (s *Service) runJob(r *jobRecord) {
 			monitor.CheckOutcome(res.R0, res.FinalI)
 		}
 	}
+	if err == nil {
+		// Durability before visibility: the result blob and the terminal
+		// record land on disk while the job still reads as running, so a
+		// poller that observes "succeeded" and kills the process cannot
+		// lose the result. Deliberately outside s.mu — the blob write is
+		// hundreds of microseconds of filesystem work and must not
+		// serialize the other workers.
+		s.storePutResult(r.key, raw)
+		s.walFinished(r.job.ID, StatusSucceeded)
+	}
 
 	s.mu.Lock()
 	fin := time.Now()
 	elapsed := fin.Sub(start)
 	r.job.FinishedAt = &fin
 	r.job.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	shutdownCancel := false
 	switch {
 	case err == nil:
 		r.job.Status = StatusSucceeded
@@ -569,6 +698,9 @@ func (s *Service) runJob(r *jobRecord) {
 	case errors.Is(err, context.Canceled):
 		r.job.Status = StatusCancelled
 		r.job.Error = fmt.Sprintf("cancelled by shutdown: %v", err)
+		// No terminal WAL record: a shutdown-cancelled job is the crash /
+		// redeploy case, and the restarted daemon must re-enqueue it.
+		shutdownCancel = true
 	default:
 		r.job.Status = StatusFailed
 		r.job.Error = err.Error()
@@ -576,6 +708,11 @@ func (s *Service) runJob(r *jobRecord) {
 	status := r.job.Status
 	jobType := r.job.Type
 	errMsg := r.job.Error
+	// Success already logged its terminal record (with the blob) above;
+	// shutdown cancellation deliberately logs none.
+	if !shutdownCancel && status != StatusSucceeded {
+		s.walFinished(r.job.ID, status)
+	}
 	s.mu.Unlock()
 
 	s.met.outcome(status)

@@ -6,6 +6,7 @@ import (
 	"rumornet/internal/obs"
 	"rumornet/internal/obs/invariant"
 	"rumornet/internal/par"
+	"rumornet/internal/store"
 )
 
 // Stats is the /v1/stats payload: a consistent snapshot of the service's
@@ -35,6 +36,24 @@ type Stats struct {
 	// LatencyMS aggregates execution latency per job type (cache hits
 	// excluded: they never execute).
 	LatencyMS map[string]LatencySummary `json:"latency_ms"`
+
+	// Store reports the durable job store when the daemon runs with
+	// -data-dir; omitted for a fully in-memory service.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats extends the store's own snapshot with the service-level
+// recovery and disk-hit counters.
+type StoreStats struct {
+	store.Stats
+	// RecoveredJobs counts unfinished jobs re-enqueued by startup recovery;
+	// RecoveredResults the results warmed into the memory cache.
+	RecoveredJobs    int64 `json:"recovered_jobs"`
+	RecoveredResults int64 `json:"recovered_results"`
+	// ResultHits counts submissions answered from the on-disk result store
+	// after a memory-cache miss; WALErrors failed store operations.
+	ResultHits int64 `json:"result_hits"`
+	WALErrors  int64 `json:"wal_errors"`
 }
 
 // LatencySummary aggregates per-job-type execution latency.
@@ -84,6 +103,21 @@ type metrics struct {
 
 	invariants map[string]*obs.Counter // violations by check name
 	sseClients *obs.Gauge              // live /v1/jobs/{id}/events streams
+
+	// Durable-store instruments (registered unconditionally; all stay zero
+	// for an in-memory service).
+	walAppend        *obs.Histogram
+	walFsync         *obs.Histogram
+	walErrors        *obs.Counter
+	diskHits         *obs.Counter
+	recoveredJobs    *obs.Counter
+	recoveredResults *obs.Counter
+}
+
+// walBuckets span WAL append/fsync latencies: microsecond buffered writes
+// up to ~100ms spinning-disk fsyncs.
+var walBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1,
 }
 
 func newMetrics() *metrics {
@@ -133,6 +167,19 @@ func newMetrics() *metrics {
 	}
 	m.sseClients = reg.Gauge("rumor_sse_clients",
 		"Live GET /v1/jobs/{id}/events streams.")
+	m.walAppend = reg.Histogram("rumor_wal_append_seconds",
+		"Wall time of one WAL append (write path; inline fsync included under -wal-sync always).",
+		walBuckets)
+	m.walFsync = reg.Histogram("rumor_wal_fsync_seconds",
+		"Wall time of one WAL segment fsync.", walBuckets)
+	m.walErrors = reg.Counter("rumor_store_wal_errors_total",
+		"Durable-store operations that failed (the job continues in-memory).")
+	m.diskHits = reg.Counter("rumor_store_result_hits_total",
+		"Submissions answered from the on-disk result store after a memory-cache miss.")
+	m.recoveredJobs = reg.Counter("rumor_store_recovered_jobs_total",
+		"Unfinished jobs re-enqueued by startup recovery.")
+	m.recoveredResults = reg.Counter("rumor_store_recovered_results_total",
+		"Persisted results warmed into the memory cache by startup recovery.")
 	return m
 }
 
@@ -172,6 +219,23 @@ func (m *metrics) registerDerived(s *Service) {
 	m.reg.GaugeFunc("rumor_trace_spans_finished",
 		"Finished spans resident in the trace ring.",
 		func() float64 { return float64(len(s.tracer.Finished())) })
+	if s.store != nil {
+		m.reg.GaugeFunc("rumor_store_results",
+			"Result blobs resident in the durable store.",
+			func() float64 { return float64(s.store.Snapshot().Results) })
+		m.reg.GaugeFunc("rumor_store_result_bytes",
+			"Total size of the durable result store.",
+			func() float64 { return float64(s.store.Snapshot().ResultBytes) })
+		m.reg.GaugeFunc("rumor_store_wal_segments",
+			"WAL segments on disk.",
+			func() float64 { return float64(s.store.Snapshot().WALSegments) })
+		m.reg.GaugeFunc("rumor_store_wal_bytes",
+			"Total size of the WAL segments on disk.",
+			func() float64 { return float64(s.store.Snapshot().WALBytes) })
+		m.reg.GaugeFunc("rumor_store_pending_jobs",
+			"Jobs logged as submitted whose terminal record has not landed.",
+			func() float64 { return float64(s.store.Snapshot().PendingJobs) })
+	}
 }
 
 // invariantViolation counts one fired check.

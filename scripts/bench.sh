@@ -23,6 +23,13 @@
 #     On attaches the full per-checkpoint service path (stage-span
 #     lookup, invariant monitor, journal ring append); the PR 4 claim
 #     is < 5% overhead on both pairs.
+#   pr5 — durable-store cost (internal/service, internal/store):
+#       BenchmarkJobThroughputWAL{Off,On}  full job round trips, in-memory
+#                                          vs -data-dir with batched fsync
+#       BenchmarkRecovery1k                cold-start replay of a 1k-record
+#                                          WAL into pending state
+#       BenchmarkWALAppend, BenchmarkPutResult  raw store primitives
+#     the PR 5 claim is WAL-on throughput within 5% of WAL-off.
 #
 # Usage:
 #
@@ -30,6 +37,7 @@
 #   scripts/bench.sh pr2             # pr2 -> BENCH_PR2.json
 #   scripts/bench.sh pr3             # pr3 -> BENCH_PR3.json
 #   scripts/bench.sh pr4             # pr4 -> BENCH_PR4.json
+#   scripts/bench.sh pr5             # pr5 -> BENCH_PR5.json
 #   scripts/bench.sh pr2 out.json    # explicit output path
 set -eu
 
@@ -67,8 +75,16 @@ pr4)
 	go test -run '^$' -bench 'Benchmark(ODE|ABM)Journal(Off|On)$' \
 		-benchmem ./internal/obs/journal | tee -a "$tmp"
 	;;
+pr5)
+	out="${2:-BENCH_PR5.json}"
+	note="WALOff runs the standard workload (Digg2009 ODE jobs, worker pool kept saturated) in-memory, WALOn adds the durable store with the default batched-fsync policy; their ns_per_op ratio is the durability cost (claim: < 5%). Recovery1k replays a 1000-record WAL cold"
+	go test -run '^$' -bench 'BenchmarkJobThroughputWAL(Off|On)$' \
+		-benchmem ./internal/service | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkRecovery1k$|BenchmarkWALAppend$|BenchmarkPutResult$' \
+		-benchmem ./internal/store | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3 or pr4)" >&2
+	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3, pr4 or pr5)" >&2
 	exit 2
 	;;
 esac

@@ -5,11 +5,13 @@
 #   tier 2: go vet ./... && go test -race ./...
 #
 # Tier 2 exists because the worker fan-out (internal/par, internal/abm,
-# internal/experiments) and the rumord service stack (internal/service job
+# internal/experiments), the rumord service stack (internal/service job
 # queue, result cache, concurrent E2E suite — including the SSE streaming
 # tests, which exercise journal fan-out, live subscribers and mid-stream
-# cancellation under the detector) must stay data-race free; -race roughly
-# 10x-es the runtime, so it is a separate gate. Usage:
+# cancellation under the detector) and the durable store (internal/store:
+# WAL appends racing the batched-fsync flusher, concurrent blob Put/Get/GC,
+# and the service's crash-recovery E2E) must stay data-race free; -race
+# roughly 10x-es the runtime, so it is a separate gate. Usage:
 #
 #   scripts/verify.sh         # tier 1 only
 #   scripts/verify.sh -race   # tier 1 + tier 2
