@@ -45,3 +45,15 @@ func TestValABMWorkerInvariance(t *testing.T) {
 	}
 	assertWorkerInvariant(t, "valABM")
 }
+
+// TestAblTWorkerInvariance pins the targeting ablation end-to-end: paired
+// ABM runs with per-strategy Blocked sets, driven through the
+// degree-bucketed transition sweep. Covers the interaction the unit tests
+// cannot: bucketed visit order + blocked nodes + the experiment registry's
+// own worker plumbing.
+func TestAblTWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("targeting ablation is slow; skipped with -short")
+	}
+	assertWorkerInvariant(t, "ablT")
+}

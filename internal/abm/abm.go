@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"sync/atomic"
 	"time"
@@ -147,6 +148,79 @@ func (r *Result) PeakI() float64 {
 // depends only on this constant — never on the worker count — so per-shard
 // Θ deltas summed in shard order are bit-identical at any parallelism.
 const shardSize = 2048
+
+// sweepPlan is the precomputed per-run geometry of the transition sweep:
+// a degree-bucketed visit order per shard for the annealed draw phase, and
+// CSR in-adjacency for the quenched force evaluation.
+//
+// The plan depends only on the graph, never on the worker count or the RNG,
+// so it cannot perturb the deterministic trajectory. Determinism of the
+// *values* is preserved separately: the draw phase may visit nodes in any
+// order (each node's transition is a pure function of (seed, step, node)
+// plus the frozen state array), and the Θ delta is accumulated in a
+// second, node-ordered pass so its floating-point summation order is
+// exactly that of the pre-bucketing sweep. See DESIGN.md §11.
+type sweepPlan struct {
+	// deg[v] is the out-degree of v — the argument of λ and ω, shared by
+	// every node of a bucket.
+	deg []int32
+	// order holds, shard by shard, the shard's nodes sorted by (degree,
+	// id). Consecutive equal-degree nodes form a bucket: they share the
+	// λ(k) lookup and one 1−exp(−λ(k)Θ·Δt) infection probability, so the
+	// annealed sweep pays one exp per (bucket, step) instead of one per
+	// (node, step). Built only for ModeAnnealed: the quenched force is
+	// per-node anyway, and there the node-ordered walk's adjacency
+	// locality is worth more than a shared λ register.
+	order []int32
+	// inOff/inAdj are the CSR in-adjacency: the in-neighbors of v are
+	// inAdj[inOff[v]:inOff[v+1]], in the same order as graph.InNeighbors —
+	// one flat array streamed in node order instead of a per-node slice
+	// chase. Built only for ModeQuenched.
+	inOff []int32
+	inAdj []int32
+}
+
+func newSweepPlan(g *graph.Graph, mode Mode) *sweepPlan {
+	n := g.NumNodes()
+	p := &sweepPlan{deg: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		p.deg[v] = int32(g.OutDegree(v))
+	}
+	if mode == ModeAnnealed {
+		p.order = make([]int32, n)
+		for v := range p.order {
+			p.order[v] = int32(v)
+		}
+		for lo := 0; lo < n; lo += shardSize {
+			hi := min(lo+shardSize, n)
+			seg := p.order[lo:hi]
+			sort.Slice(seg, func(a, b int) bool {
+				da, db := p.deg[seg[a]], p.deg[seg[b]]
+				if da != db {
+					return da < db
+				}
+				return seg[a] < seg[b]
+			})
+		}
+	}
+	if mode == ModeQuenched {
+		p.inOff = make([]int32, n+1)
+		var m int
+		for v := 0; v < n; v++ {
+			m += len(g.InNeighbors(v))
+			p.inOff[v+1] = int32(m)
+		}
+		p.inAdj = make([]int32, m)
+		for v := 0; v < n; v++ {
+			at := p.inOff[v]
+			for _, u := range g.InNeighbors(v) {
+				p.inAdj[at] = int32(u)
+				at++
+			}
+		}
+	}
+	return p
+}
 
 // splitmix64 is the SplitMix64 output mixer (Steele, Lea & Flood 2014): a
 // bijective avalanche function whose sequential stream passes BigCrush.
@@ -310,6 +384,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*R
 	}
 	workers := par.Default(cfg.Workers)
 	deltas := make([]delta, par.NumShards(n, shardSize))
+	plan := newSweepPlan(g, cfg.Mode)
 
 	// Hoist the progress decision out of the step loop; the hook path costs
 	// nothing when no one is listening.
@@ -335,43 +410,115 @@ func RunCtx(ctx context.Context, g *graph.Graph, cfg Config, rng *rand.Rand) (*R
 
 		err := par.ForEachShard(workers, n, shardSize, func(shard, lo, hi int) error {
 			var d delta
-			for v := lo; v < hi; v++ {
-				st := state[v]
-				next[v] = st
-				switch st {
-				case Susceptible:
-					var force float64
-					if cfg.Mode == ModeAnnealed {
-						force = lambda[v] * theta
-					} else {
+			if cfg.Mode == ModeAnnealed {
+				// Phase 1 — draws, in degree-bucket order. Every transition
+				// is a pure function of (baseSeed, step, node) plus the
+				// frozen state array, so this phase may visit the shard's
+				// nodes in any order; bucketing lets every equal-degree run
+				// share one λ(k) lookup and one 1−exp(−λ(k)Θ·Δt) — the
+				// sweep's dominant cost drops from one exp per node to one
+				// per (bucket, step).
+				ord := plan.order[lo:hi]
+				for j := 0; j < len(ord); {
+					v0 := int(ord[j])
+					d0 := plan.deg[v0]
+					// Identical bits to the per-node path: force and pInf
+					// depend only on the degree, frozen Θ and Δt.
+					force := lambda[v0] * theta
+					pInf := 1 - math.Exp(-force*cfg.Dt)
+					pStop := pInf + (1-pInf)*pRec1
+					for ; j < len(ord); j++ {
+						v := int(ord[j])
+						if plan.deg[v] != d0 {
+							break
+						}
+						st := state[v]
+						next[v] = st
+						switch st {
+						case Susceptible:
+							// Competing risks: infection at rate force,
+							// immunization at rate ε1.
+							switch u := transitionRand(baseSeed, step, v); {
+							case u < pInf:
+								next[v] = Infected
+							case u < pStop:
+								next[v] = Recovered
+							}
+						case Infected:
+							if transitionRand(baseSeed, step, v) < pRec2 {
+								next[v] = Recovered
+							}
+						}
+					}
+				}
+				// Phase 2 — fold the shard's deltas in node order. The Θ
+				// delta is a float sum, so this pass reproduces the exact
+				// summation order of the pre-bucketing sweep (ascending node
+				// id within the shard); the compartment counts are integers
+				// and would be order-free anyway.
+				for v := lo; v < hi; v++ {
+					was, now := state[v], next[v]
+					if was == now {
+						continue
+					}
+					switch {
+					case was == Susceptible && now == Infected:
+						d.dS--
+						d.dI++
+						d.dTheta += omegaNode[v]
+					case was == Susceptible: // immunized
+						d.dS--
+						d.dR++
+					default: // Infected → Recovered
+						d.dI--
+						d.dR++
+						d.dTheta -= omegaNode[v]
+					}
+				}
+			} else {
+				// Quenched: the force is per-node (each v sees its own
+				// infected in-neighborhood), so there is nothing for a
+				// degree bucket to share; a single node-ordered pass keeps
+				// the CSR adjacency stream and state[] accesses sequential.
+				for v := lo; v < hi; v++ {
+					st := state[v]
+					next[v] = st
+					switch st {
+					case Susceptible:
 						var local float64
-						for _, u := range g.InNeighbors(v) {
+						for _, u := range plan.inAdj[plan.inOff[v]:plan.inOff[v+1]] {
 							if state[u] == Infected {
 								local += omegaOverDeg[u]
 							}
 						}
-						force = lambda[v] * local / meanK
-					}
-					// Competing risks: infection at rate force, immunization
-					// at rate ε1.
-					pInf := 1 - math.Exp(-force*cfg.Dt)
-					switch u := transitionRand(baseSeed, step, v); {
-					case u < pInf:
-						next[v] = Infected
-						d.dS--
-						d.dI++
-						d.dTheta += omegaNode[v]
-					case u < pInf+(1-pInf)*pRec1:
-						next[v] = Recovered
-						d.dS--
-						d.dR++
-					}
-				case Infected:
-					if transitionRand(baseSeed, step, v) < pRec2 {
-						next[v] = Recovered
-						d.dI--
-						d.dR++
-						d.dTheta -= omegaNode[v]
+						pInf, pStop := 0.0, pRec1
+						if local != 0 {
+							// local == 0 needs no exp: 1−exp(0) is exactly
+							// 0, so pInf = 0 and the immunization threshold
+							// reduces to pRec1 — bit-identical to computing
+							// it.
+							force := lambda[v] * local / meanK
+							pInf = 1 - math.Exp(-force*cfg.Dt)
+							pStop = pInf + (1-pInf)*pRec1
+						}
+						switch u := transitionRand(baseSeed, step, v); {
+						case u < pInf:
+							next[v] = Infected
+							d.dS--
+							d.dI++
+							d.dTheta += omegaNode[v]
+						case u < pStop:
+							next[v] = Recovered
+							d.dS--
+							d.dR++
+						}
+					case Infected:
+						if transitionRand(baseSeed, step, v) < pRec2 {
+							next[v] = Recovered
+							d.dI--
+							d.dR++
+							d.dTheta -= omegaNode[v]
+						}
 					}
 				}
 			}

@@ -2,9 +2,12 @@ package abm
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"rumornet/internal/graph"
 )
 
 // TestRunWorkerInvariance is the determinism regression for the sharded
@@ -168,4 +171,202 @@ func benchmarkMeanRun(b *testing.B, workers int) {
 func BenchmarkMeanRun(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchmarkMeanRun(b, 1) })
 	b.Run("parallel", func(b *testing.B) { benchmarkMeanRun(b, 0) })
+}
+
+// referenceRun is the pre-refactor transition sweep, kept verbatim as the
+// golden reference for the degree-bucketed path: one serial pass in node
+// order, per-node λ/ω lookups and exp() calls, deltas accumulated inline.
+// Run must reproduce it byte for byte — the bucketed visit order may not
+// change a single draw, branch outcome, or the Θ summation order.
+func referenceRun(t testing.TB, g *graph.Graph, cfg Config, rng *rand.Rand) *Result {
+	t.Helper()
+	n := g.NumNodes()
+	nf := float64(n)
+
+	lambda := make([]float64, n)
+	omegaNode := make([]float64, n)
+	omegaOverDeg := make([]float64, n)
+	var meanK float64
+	for u := 0; u < n; u++ {
+		k := float64(g.OutDegree(u))
+		meanK += k
+		lambda[u] = cfg.Lambda(k)
+		om := cfg.Omega(k)
+		if k > 0 {
+			omegaOverDeg[u] = om / k
+		}
+		omegaNode[u] = om
+	}
+	meanK /= nf
+
+	state := make([]State, n)
+	for u := range state {
+		state[u] = Susceptible
+	}
+	for _, u := range cfg.Blocked {
+		state[u] = Recovered
+	}
+	seeded := 0
+	if len(cfg.Seeds) > 0 {
+		for _, u := range cfg.Seeds {
+			if state[u] == Recovered {
+				continue
+			}
+			if state[u] != Infected {
+				state[u] = Infected
+				seeded++
+			}
+		}
+	} else {
+		seeds := int(math.Round(cfg.I0 * nf))
+		if seeds < 1 {
+			seeds = 1
+		}
+		for _, u := range rng.Perm(n) {
+			if seeded == seeds {
+				break
+			}
+			if state[u] == Recovered {
+				continue
+			}
+			state[u] = Infected
+			seeded++
+		}
+	}
+	baseSeed := rng.Uint64()
+
+	res := &Result{
+		T:     make([]float64, 0, cfg.Steps+1),
+		S:     make([]float64, 0, cfg.Steps+1),
+		I:     make([]float64, 0, cfg.Steps+1),
+		R:     make([]float64, 0, cfg.Steps+1),
+		Theta: make([]float64, 0, cfg.Steps+1),
+	}
+	pRec1 := 1 - math.Exp(-cfg.Eps1*cfg.Dt)
+	pRec2 := 1 - math.Exp(-cfg.Eps2*cfg.Dt)
+	next := make([]State, n)
+
+	var sCnt, iCnt, rCnt int
+	var thetaSum float64
+	for u, st := range state {
+		switch st {
+		case Susceptible:
+			sCnt++
+		case Infected:
+			iCnt++
+			thetaSum += omegaNode[u]
+		case Recovered:
+			rCnt++
+		}
+	}
+	record := func(tt float64) {
+		res.T = append(res.T, tt)
+		res.S = append(res.S, float64(sCnt)/nf)
+		res.I = append(res.I, float64(iCnt)/nf)
+		res.R = append(res.R, float64(rCnt)/nf)
+		res.Theta = append(res.Theta, thetaSum/(nf*meanK))
+	}
+	record(0)
+
+	type delta struct {
+		dS, dI, dR int
+		dTheta     float64
+	}
+	numShards := (n + shardSize - 1) / shardSize
+	deltas := make([]delta, numShards)
+
+	for step := 1; step <= cfg.Steps; step++ {
+		var theta float64
+		if cfg.Mode == ModeAnnealed {
+			theta = thetaSum / (nf * meanK)
+		}
+		for shard := 0; shard < numShards; shard++ {
+			lo := shard * shardSize
+			hi := min(lo+shardSize, n)
+			var d delta
+			for v := lo; v < hi; v++ {
+				st := state[v]
+				next[v] = st
+				switch st {
+				case Susceptible:
+					var force float64
+					if cfg.Mode == ModeAnnealed {
+						force = lambda[v] * theta
+					} else {
+						var local float64
+						for _, u := range g.InNeighbors(v) {
+							if state[u] == Infected {
+								local += omegaOverDeg[u]
+							}
+						}
+						force = lambda[v] * local / meanK
+					}
+					pInf := 1 - math.Exp(-force*cfg.Dt)
+					switch u := transitionRand(baseSeed, step, v); {
+					case u < pInf:
+						next[v] = Infected
+						d.dS--
+						d.dI++
+						d.dTheta += omegaNode[v]
+					case u < pInf+(1-pInf)*pRec1:
+						next[v] = Recovered
+						d.dS--
+						d.dR++
+					}
+				case Infected:
+					if transitionRand(baseSeed, step, v) < pRec2 {
+						next[v] = Recovered
+						d.dI--
+						d.dR++
+						d.dTheta -= omegaNode[v]
+					}
+				}
+			}
+			deltas[shard] = d
+		}
+		for s := range deltas {
+			sCnt += deltas[s].dS
+			iCnt += deltas[s].dI
+			rCnt += deltas[s].dR
+			thetaSum += deltas[s].dTheta
+			deltas[s] = delta{}
+		}
+		state, next = next, state
+		record(float64(step) * cfg.Dt)
+	}
+	return res
+}
+
+// TestBucketedSweepMatchesReference is the golden equivalence regression
+// for the degree-bucketed sweep: same graph, same seeds → byte-equal
+// trajectories against the pre-refactor per-node path, in both contact
+// modes, with and without a blocked set, at every worker count.
+func TestBucketedSweepMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	blocked, err := g.TopKByOutDegree(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeAnnealed, ModeQuenched} {
+		cfg := testConfig(mode)
+		cfg.Steps = 40
+		for _, withBlocked := range []bool{false, true} {
+			cfg.Blocked = nil
+			if withBlocked {
+				cfg.Blocked = blocked
+			}
+			want := referenceRun(t, g, cfg, rand.New(rand.NewSource(314)))
+			for _, workers := range []int{1, 4} {
+				cfg.Workers = workers
+				got, err := Run(g, cfg, rand.New(rand.NewSource(314)))
+				if err != nil {
+					t.Fatalf("mode=%d workers=%d: %v", mode, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("mode=%d blocked=%v workers=%d: bucketed trajectory diverges from the pre-refactor reference",
+						mode, withBlocked, workers)
+				}
+			}
+		}
+	}
 }

@@ -145,6 +145,14 @@ func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, o
 	ng := len(sched.T)
 	policy := &Policy{}
 
+	// Per-run arena shared by every backward sweep: the ψ/φ row tables, the
+	// co-state initial condition, the interpolation buffer consumed by the
+	// co-state RHS, and the RK4 stepper scratch are all allocated once here
+	// instead of once per sweep (and, for the interpolation buffer, once
+	// per RHS evaluation). MaxIter sweeps then run allocation-free apart
+	// from the recorded trajectories themselves.
+	arena := newSweepArena(n, ng)
+
 	// Rebadge the forward integration's StageODE checkpoints so a consumer
 	// can tell the FBSM forward sweep apart from a plain simulation job.
 	// The whole event is forwarded, so the MinI/MassErr invariant fields
@@ -171,7 +179,7 @@ func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, o
 
 		// (2) Backward sweep: co-states with transversality
 		// ψ(tf) = 0, φ(tf) = w.
-		psi, phi, err := backwardSweep(ctx, m, tr, sched, opts)
+		psi, phi, err := backwardSweep(ctx, m, tr, sched, opts, arena)
 		if err != nil {
 			return nil, fmt.Errorf("control: backward sweep %d: %w", iter, err)
 		}
@@ -248,19 +256,44 @@ func OptimizeCtx(ctx context.Context, m *core.Model, ic []float64, tf float64, o
 	return policy, nil
 }
 
+// sweepArena holds the buffers a backward sweep needs, allocated once per
+// Optimize run and reused across all MaxIter sweeps.
+type sweepArena struct {
+	psi, phi [][]float64 // ψ/φ row tables over the schedule grid
+	z0       []float64   // transversality condition
+	ybuf     []float64   // tr.AtInto scratch for the co-state RHS
+	st       *ode.RK4    // backward-integration stepper scratch
+}
+
+func newSweepArena(n, ng int) *sweepArena {
+	return &sweepArena{
+		psi:  make([][]float64, ng),
+		phi:  make([][]float64, ng),
+		z0:   make([]float64, 2*n),
+		ybuf: make([]float64, 2*n),
+		st:   ode.NewRK4(2 * n),
+	}
+}
+
 // backwardSweep integrates the co-state system from tf to 0 and returns
-// ψ[j][i], φ[j][i] aligned with the schedule grid.
-func backwardSweep(ctx context.Context, m *core.Model, tr *core.Trajectory, sched *Schedule, opts Options) (psi, phi [][]float64, err error) {
+// ψ[j][i], φ[j][i] aligned with the schedule grid. The returned rows alias
+// arena.psi/arena.phi and the sweep's solution buffer; they are valid until
+// the next sweep reuses the arena.
+func backwardSweep(ctx context.Context, m *core.Model, tr *core.Trajectory, sched *Schedule, opts Options, arena *sweepArena) (psi, phi [][]float64, err error) {
 	n := m.N()
 	ng := len(sched.T)
 	tf := sched.Horizon()
 	meanK := m.MeanDegree()
 
 	// Packed co-state z = [ψ_1..ψ_n, φ_1..φ_n] as a function of reversed
-	// time τ = tf − t: dz/dτ = −g(tf − τ, z).
+	// time τ = tf − t: dz/dτ = −g(tf − τ, z). The state interpolation
+	// reuses one arena buffer — the sweep's RHS is evaluated four times per
+	// RK4 step over the whole grid, so a per-call clone here used to be the
+	// dominant allocation of the entire FBSM iteration.
 	costateRHS := func(tau float64, z, dz []float64) {
 		t := tf - tau
-		y := tr.At(t)
+		y := arena.ybuf
+		tr.AtInto(t, y)
 		e1 := sched.Eps1At(t)
 		e2 := sched.Eps2At(t)
 		theta := m.Theta(y)
@@ -296,8 +329,9 @@ func backwardSweep(ctx context.Context, m *core.Model, tr *core.Trajectory, sche
 	}
 
 	// Transversality: ψ(tf) = 0, φ(tf) = TerminalWeight.
-	z0 := make([]float64, 2*n)
+	z0 := arena.z0
 	for i := 0; i < n; i++ {
+		z0[i] = 0
 		z0[n+i] = opts.TerminalWeight
 	}
 	h := sched.T[1] - sched.T[0]
@@ -311,7 +345,7 @@ func backwardSweep(ctx context.Context, m *core.Model, tr *core.Trajectory, sche
 			prog(obs.Event{Stage: obs.StageFBSMBackward, Step: step, Total: total, T: tf - tau})
 		}
 	}
-	sol, err := ode.SolveFixed(costateRHS, z0, 0, tf, h, &ode.RK4{}, oopts)
+	sol, err := ode.SolveFixed(costateRHS, z0, 0, tf, h, arena.st, oopts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -319,9 +353,9 @@ func backwardSweep(ctx context.Context, m *core.Model, tr *core.Trajectory, sche
 		return nil, nil, errors.New("control: co-state samples misaligned with grid")
 	}
 
-	// Unreverse: co-state at grid node j is the backward sample ng-1-j.
-	psi = make([][]float64, ng)
-	phi = make([][]float64, ng)
+	// Unreverse: co-state at grid node j is the backward sample ng-1-j. The
+	// row tables live in the arena; only the headers are rewritten here.
+	psi, phi = arena.psi, arena.phi
 	for j := 0; j < ng; j++ {
 		z := sol.Y[ng-1-j]
 		psi[j] = z[:n]

@@ -622,15 +622,10 @@ func TestQuickSusceptiblesStayPositive(t *testing.T) {
 	}
 }
 
+// BenchmarkRHSDiggScale times the fused-Θ RHS sweep on the 848-group
+// Digg-scale state; allocs/op must stay 0 (TestRHSZeroAlloc asserts it).
 func BenchmarkRHSDiggScale(b *testing.B) {
-	d, err := degreedist.TruncatedPowerLaw(1.5, 1, 995)
-	if err != nil {
-		b.Fatal(err)
-	}
-	m, err := CalibratedModel(d, 0.01, 0.2, 0.05, 0.722, degreedist.OmegaSaturating(0.5, 0.5))
-	if err != nil {
-		b.Fatal(err)
-	}
+	m := diggScaleModel(b)
 	ic, err := m.UniformIC(0.1)
 	if err != nil {
 		b.Fatal(err)
@@ -719,4 +714,102 @@ func TestSimulateProgressInvariantFields(t *testing.T) {
 			t.Errorf("MassErr = %v above roundoff at t=%v", ev.MassErr, ev.T)
 		}
 	}
+}
+
+// diggScaleModel builds the 848-group Digg-scale model the RHS hot-loop
+// benchmarks and equivalence tests share.
+func diggScaleModel(tb testing.TB) *Model {
+	tb.Helper()
+	d, err := degreedist.TruncatedPowerLaw(1.5, 1, 995)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := CalibratedModel(d, 0.01, 0.2, 0.05, 0.722, degreedist.OmegaSaturating(0.5, 0.5))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// referenceRHS is the pre-fusion formulation of System (1)'s right-hand
+// side — Theta() first, then the derivative loop — kept verbatim as the
+// golden reference for the fused sweep in Model.rhs.
+func referenceRHS(m *Model, y, dydt []float64, e1, e2 float64) {
+	n := m.N()
+	theta := m.Theta(y)
+	alpha := m.Params().Alpha
+	for i := 0; i < n; i++ {
+		s, inf := y[i], y[n+i]
+		force := m.Lambda(i) * s * theta
+		dydt[i] = alpha - force - e1*s
+		dydt[n+i] = force - e2*inf
+	}
+}
+
+// TestRHSMatchesReference pins the fused-Θ RHS to the pre-refactor
+// Theta-then-loop path bit for bit: same states, same controls, byte-equal
+// derivatives. Any reordering of the Θ accumulation or the force
+// arithmetic shows up here as an exact-inequality failure.
+func TestRHSMatchesReference(t *testing.T) {
+	m := diggScaleModel(t)
+	dim := m.StateDim()
+	rng := rand.New(rand.NewSource(17))
+	y := make([]float64, dim)
+	got := make([]float64, dim)
+	want := make([]float64, dim)
+	for trial := 0; trial < 25; trial++ {
+		for i := 0; i < m.N(); i++ {
+			y[m.N()+i] = rng.Float64()
+			y[i] = (1 - y[m.N()+i]) * rng.Float64()
+		}
+		e1 := m.Params().Eps1 * (0.5 + rng.Float64())
+		e2 := m.Params().Eps2 * (0.5 + rng.Float64())
+		m.rhs(y, got, e1, e2)
+		referenceRHS(m, y, want, e1, e2)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dydt[%d] = %x, reference %x (not bit-identical)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRHSZeroAlloc tracks the 0-alloc claim on the Digg-scale RHS: the
+// fused sweep must not allocate, or every RK4 stage of every step pays it.
+func TestRHSZeroAlloc(t *testing.T) {
+	m := diggScaleModel(t)
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dydt := make([]float64, m.StateDim())
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.RHS(0, ic, dydt)
+	}); allocs != 0 {
+		t.Errorf("RHS allocates %v times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.Theta(ic)
+	}); allocs != 0 {
+		t.Errorf("Theta allocates %v times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkTheta tracks the coupling accessor on its own: it is the half
+// of the pre-fusion RHS that the fused sweep absorbed, and it still runs
+// standalone in trajectory post-processing (ThetaSeries, progress hooks).
+func BenchmarkTheta(b *testing.B) {
+	m := diggScaleModel(b)
+	ic, err := m.UniformIC(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Theta(ic)
+	}
+	_ = sink
 }

@@ -63,7 +63,11 @@ type Model struct {
 
 	lambda []float64 // λ(k_i)
 	varphi []float64 // φ(k_i) = ω(k_i) P(k_i)
-	sumLV  float64   // Σ λ(k_i) φ(k_i)
+	// lamphi interleaves the two rate tables as (λ(k_i), φ(k_i)) pairs so
+	// the fused RHS sweep reads one sequential stream instead of gathering
+	// from two parallel arrays; see DESIGN.md §11 "Hot-loop layout".
+	lamphi []float64
+	sumLV  float64 // Σ λ(k_i) φ(k_i)
 }
 
 // NewModel validates the parameters and precomputes the per-group rates.
@@ -85,6 +89,7 @@ func NewModel(dist *degreedist.Dist, p Params) (*Model, error) {
 		meanK:  dist.MeanDegree(),
 		lambda: make([]float64, n),
 		varphi: make([]float64, n),
+		lamphi: make([]float64, 2*n),
 	}
 	for i := 0; i < n; i++ {
 		k := float64(dist.Degree(i))
@@ -98,6 +103,8 @@ func NewModel(dist *degreedist.Dist, p Params) (*Model, error) {
 		}
 		m.lambda[i] = lam
 		m.varphi[i] = om * dist.Prob(i)
+		m.lamphi[2*i] = lam
+		m.lamphi[2*i+1] = m.varphi[i]
 		m.sumLV += lam * m.varphi[i]
 	}
 	if m.meanK <= 0 {
@@ -162,15 +169,34 @@ func (m *Model) ControlledRHS(eps1, eps2 func(t float64) float64) ode.Func {
 	}
 }
 
+// rhs is the fused hot loop of System (1): a first sweep accumulates the Θ
+// numerator while stashing the Θ-independent factor λ_i·S_i in dydt, and a
+// second sweep applies the now-known coupling. The interleaved (λ, φ) table
+// and the capped sub-slices keep every access sequential and bounds-check
+// free. The arithmetic evaluates in exactly the order of the pre-fusion
+// Theta-then-loop formulation, so trajectories are bit-identical to it (the
+// golden test in core_test.go pins this).
 func (m *Model) rhs(y, dydt []float64, e1, e2 float64) {
 	n := m.n
-	theta := m.Theta(y)
+	ss := y[:n:n]
+	is := y[n : 2*n : 2*n]
+	ds := dydt[:n:n]
+	di := dydt[n : 2*n : 2*n]
+	lp := m.lamphi[: 2*n : 2*n]
+
+	var acc float64
+	j := 0
+	for i := 0; i < n; i++ {
+		ds[i] = lp[j] * ss[i] // stash λ_i·S_i
+		acc += lp[j+1] * is[i]
+		j += 2
+	}
+	theta := acc / m.meanK
 	alpha := m.p.Alpha
 	for i := 0; i < n; i++ {
-		s, inf := y[i], y[n+i]
-		force := m.lambda[i] * s * theta
-		dydt[i] = alpha - force - e1*s
-		dydt[n+i] = force - e2*inf
+		force := ds[i] * theta
+		ds[i] = alpha - force - e1*ss[i]
+		di[i] = force - e2*is[i]
 	}
 }
 

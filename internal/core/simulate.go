@@ -156,7 +156,7 @@ func (m *Model) SimulateCtx(ctx context.Context, ic []float64, tf float64, opts 
 		}
 	}
 
-	sol, err := ode.SolveFixed(rhs, ic, 0, tf, step, &ode.RK4{}, oopts)
+	sol, err := ode.SolveFixed(rhs, ic, 0, tf, step, ode.NewRK4(2*m.n), oopts)
 	if err != nil {
 		return nil, fmt.Errorf("core: simulate: %w", err)
 	}

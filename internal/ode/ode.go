@@ -53,15 +53,33 @@ func (s *Solution) Last() (t float64, y []float64) {
 // bracketing samples. Times outside the sampled range clamp to the nearest
 // endpoint.
 func (s *Solution) At(t float64) []float64 {
-	n := len(s.T)
-	if n == 0 {
+	if len(s.T) == 0 {
 		panic("ode: At on empty Solution")
 	}
+	out := make([]float64, len(s.Y[0]))
+	s.AtInto(t, out)
+	return out
+}
+
+// AtInto is At without the allocation: it writes the interpolated state
+// into dst, which must have the state dimension. Hot loops that evaluate a
+// trajectory at many times — the FBSM co-state sweep above all — call this
+// with a reused buffer so interpolation costs no allocation per call.
+func (s *Solution) AtInto(t float64, dst []float64) {
+	n := len(s.T)
+	if n == 0 {
+		panic("ode: AtInto on empty Solution")
+	}
+	if len(dst) != len(s.Y[0]) {
+		panic(fmt.Sprintf("ode: AtInto dst dimension %d, want %d", len(dst), len(s.Y[0])))
+	}
 	if t <= s.T[0] {
-		return floats.Clone(s.Y[0])
+		copy(dst, s.Y[0])
+		return
 	}
 	if t >= s.T[n-1] {
-		return floats.Clone(s.Y[n-1])
+		copy(dst, s.Y[n-1])
+		return
 	}
 	// Binary search for the bracketing interval.
 	lo, hi := 0, n-1
@@ -78,11 +96,10 @@ func (s *Solution) At(t float64) []float64 {
 	if span > 0 {
 		w = (t - s.T[lo]) / span
 	}
-	out := floats.Clone(s.Y[lo])
-	for i := range out {
-		out[i] += w * (s.Y[hi][i] - s.Y[lo][i])
+	ylo, yhi := s.Y[lo], s.Y[hi]
+	for i := range dst {
+		dst[i] = ylo[i] + w*(yhi[i]-ylo[i])
 	}
-	return out
 }
 
 // Series extracts component j of the state as a time series aligned with T.
@@ -102,11 +119,15 @@ type Options struct {
 	// simplex against round-off drift.
 	Project func(y []float64)
 
-	// Ctx, if non-nil, is polled periodically during the integration; once
-	// it is cancelled the solver abandons the run and returns the partial
+	// Ctx, if non-nil, is polled during the integration; once it is
+	// cancelled the solver abandons the run and returns the partial
 	// solution together with an error wrapping ctx.Err(). This is how job
 	// timeouts reach the innermost loops of long simulations and FBSM
 	// sweeps without the solvers importing any service machinery.
+	//
+	// Fixed-step solvers poll every 256 accepted steps and additionally
+	// before the final (possibly partial) step, so cancellation latency is
+	// bounded by 256 steps everywhere, including just short of tf.
 	Ctx context.Context
 
 	// Stop, if non-nil, terminates the integration early when it returns
@@ -195,6 +216,13 @@ func (o *Options) cancelled(t float64) error {
 // Stepper advances an ODE state by one fixed step. Implementations keep
 // internal scratch buffers and are therefore not safe for concurrent use;
 // create one Stepper per goroutine.
+//
+// The provided steppers (Euler, Heun, RK4) size their scratch once — at
+// construction via NewEuler/NewHeun/NewRK4, or lazily on the first Step —
+// and the hot path performs no allocation afterwards: the only per-step
+// sizing cost is a length compare that re-allocates solely when the system
+// dimension changes. SolveFixed pre-sizes the stepper before entering its
+// loop, so a fixed-step solve does zero allocations per step.
 type Stepper interface {
 	// Step writes the state at t+h into dst given the state y at t.
 	// dst and y must not alias.
@@ -218,9 +246,27 @@ type Euler struct {
 	k []float64
 }
 
+// Resize sizes the scratch for dimension-n systems; it is a no-op when the
+// stepper is already sized for n.
+func (e *Euler) Resize(n int) {
+	if len(e.k) != n {
+		e.k = make([]float64, n)
+	}
+}
+
+// NewEuler returns an Euler stepper with scratch preallocated for
+// dimension-n systems.
+func NewEuler(n int) *Euler {
+	e := &Euler{}
+	e.Resize(n)
+	return e
+}
+
 // Step implements Stepper.
 func (e *Euler) Step(f Func, t float64, y []float64, h float64, dst []float64) {
-	e.k = grow(e.k, len(y))
+	if len(e.k) != len(y) { // cold path: unsized or re-dimensioned stepper
+		e.Resize(len(y))
+	}
 	f(t, y, e.k)
 	copy(dst, y)
 	floats.AddScaled(dst, h, e.k)
@@ -237,12 +283,32 @@ type Heun struct {
 	k1, k2, tmp []float64
 }
 
+// Resize sizes the scratch for dimension-n systems; it is a no-op when the
+// stepper is already sized for n. The stage buffers are carved from one
+// contiguous arena so the stages stream through adjacent cache lines.
+func (hn *Heun) Resize(n int) {
+	if len(hn.k1) == n {
+		return
+	}
+	buf := make([]float64, 3*n)
+	hn.k1 = buf[0*n : 1*n : 1*n]
+	hn.k2 = buf[1*n : 2*n : 2*n]
+	hn.tmp = buf[2*n : 3*n : 3*n]
+}
+
+// NewHeun returns a Heun stepper with scratch preallocated for dimension-n
+// systems.
+func NewHeun(n int) *Heun {
+	hn := &Heun{}
+	hn.Resize(n)
+	return hn
+}
+
 // Step implements Stepper.
 func (hn *Heun) Step(f Func, t float64, y []float64, h float64, dst []float64) {
-	n := len(y)
-	hn.k1 = grow(hn.k1, n)
-	hn.k2 = grow(hn.k2, n)
-	hn.tmp = grow(hn.tmp, n)
+	if len(hn.k1) != len(y) { // cold path: unsized or re-dimensioned stepper
+		hn.Resize(len(y))
+	}
 
 	f(t, y, hn.k1)
 	copy(hn.tmp, y)
@@ -266,14 +332,35 @@ type RK4 struct {
 	k1, k2, k3, k4, tmp []float64
 }
 
+// Resize sizes the scratch for dimension-n systems; it is a no-op when the
+// stepper is already sized for n. The four stage buffers and the trial
+// state share one contiguous arena so a step streams through adjacent
+// cache lines instead of five scattered allocations.
+func (r *RK4) Resize(n int) {
+	if len(r.k1) == n {
+		return
+	}
+	buf := make([]float64, 5*n)
+	r.k1 = buf[0*n : 1*n : 1*n]
+	r.k2 = buf[1*n : 2*n : 2*n]
+	r.k3 = buf[2*n : 3*n : 3*n]
+	r.k4 = buf[3*n : 4*n : 4*n]
+	r.tmp = buf[4*n : 5*n : 5*n]
+}
+
+// NewRK4 returns an RK4 stepper with scratch preallocated for dimension-n
+// systems.
+func NewRK4(n int) *RK4 {
+	r := &RK4{}
+	r.Resize(n)
+	return r
+}
+
 // Step implements Stepper.
 func (r *RK4) Step(f Func, t float64, y []float64, h float64, dst []float64) {
-	n := len(y)
-	r.k1 = grow(r.k1, n)
-	r.k2 = grow(r.k2, n)
-	r.k3 = grow(r.k3, n)
-	r.k4 = grow(r.k4, n)
-	r.tmp = grow(r.tmp, n)
+	if len(r.k1) != len(y) { // cold path: unsized or re-dimensioned stepper
+		r.Resize(len(y))
+	}
 
 	f(t, y, r.k1)
 
@@ -306,29 +393,56 @@ func (r *RK4) Name() string { return "rk4" }
 // h using the given stepper, returning the sampled trajectory. The final
 // step is shortened so the trajectory ends exactly at tf. y0 is not
 // modified.
+//
+// The step loop is allocation-free: the stepper is pre-sized before the
+// loop, the double-buffered state is reused across steps, and every
+// retained sample is a row of one flat backing array sized up front from
+// the step count and Record cadence. The total allocation count of a solve
+// is therefore a small constant, independent of the number of steps (see
+// TestSolveFixedStepLoopZeroAlloc).
 func SolveFixed(f Func, y0 []float64, t0, tf, h float64, st Stepper, opts *Options) (*Solution, error) {
 	if err := checkSpan(t0, tf, h); err != nil {
 		return nil, err
 	}
-	if st == nil {
-		st = &RK4{}
-	}
 	n := len(y0)
+	if st == nil {
+		st = NewRK4(n)
+	} else if rs, ok := st.(interface{ Resize(int) }); ok {
+		// Size the scratch now so the loop below never hits a stepper's
+		// lazy-allocation path.
+		rs.Resize(n)
+	}
 	steps := int(math.Ceil((tf - t0) / h))
 	if ms := opts.maxSteps(); steps > ms {
 		return nil, fmt.Errorf("ode: %d steps exceed MaxSteps=%d", steps, ms)
 	}
 	rec := opts.record()
 
+	// Exact sample budget: the initial state, every rec-th step, the final
+	// step, and at most one extra off-cadence Stop sample.
+	maxSamples := steps/rec + 3
 	sol := &Solution{
-		T: make([]float64, 0, steps/rec+2),
-		Y: make([][]float64, 0, steps/rec+2),
+		T: make([]float64, 0, maxSamples),
+		Y: make([][]float64, 0, maxSamples),
 	}
+	backing := make([]float64, maxSamples*n)
+	record := func(t float64, y []float64) {
+		j := len(sol.Y)
+		var row []float64
+		if j < maxSamples {
+			row = backing[j*n : (j+1)*n : (j+1)*n]
+			copy(row, y)
+		} else {
+			row = floats.Clone(y) // unreachable by construction; stay safe
+		}
+		sol.T = append(sol.T, t)
+		sol.Y = append(sol.Y, row)
+	}
+
 	y := floats.Clone(y0)
 	next := make([]float64, n)
 	t := t0
-	sol.T = append(sol.T, t)
-	sol.Y = append(sol.Y, floats.Clone(y))
+	record(t, y)
 
 	// Hoist the hook presence checks so an uninstrumented run pays only a
 	// registered-boolean branch per step.
@@ -336,7 +450,9 @@ func SolveFixed(f Func, y0 []float64, t0, tf, h float64, st Stepper, opts *Optio
 	every := opts.progressEvery()
 
 	for i := 0; i < steps; i++ {
-		if i%ctxPollInterval == 0 {
+		// Poll on the cadence boundary and before the final (possibly
+		// partial) step, so cancellation latency stays bounded near tf too.
+		if i%ctxPollInterval == 0 || i == steps-1 {
 			if err := opts.cancelled(t); err != nil {
 				return sol, err
 			}
@@ -359,13 +475,11 @@ func SolveFixed(f Func, y0 []float64, t0, tf, h float64, st Stepper, opts *Optio
 			opts.Progress(i+1, steps, t, y)
 		}
 		if (i+1)%rec == 0 || i == steps-1 {
-			sol.T = append(sol.T, t)
-			sol.Y = append(sol.Y, floats.Clone(y))
+			record(t, y)
 		}
 		if opts.stop(t, y) {
 			if sol.T[len(sol.T)-1] != t {
-				sol.T = append(sol.T, t)
-				sol.Y = append(sol.Y, floats.Clone(y))
+				record(t, y)
 			}
 			return sol, nil
 		}
@@ -563,9 +677,3 @@ func checkSpan(t0, tf, h float64) error {
 	return nil
 }
 
-func grow(buf []float64, n int) []float64 {
-	if cap(buf) < n {
-		return make([]float64, n)
-	}
-	return buf[:n]
-}

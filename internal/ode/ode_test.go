@@ -350,3 +350,91 @@ func BenchmarkSolveAdaptiveOscillator(b *testing.B) {
 		}
 	}
 }
+
+// TestStepperStepZeroAlloc tracks the zero-alloc contract of the fixed-step
+// steppers: once sized (constructor or first Step), Step must not allocate.
+func TestStepperStepZeroAlloc(t *testing.T) {
+	const dim = 1696 // 848 groups × (S, I): the Digg-scale state
+	y := make([]float64, dim)
+	dst := make([]float64, dim)
+	for i := range y {
+		y[i] = 0.5
+	}
+	steppers := []Stepper{NewEuler(dim), NewHeun(dim), NewRK4(dim)}
+	for _, st := range steppers {
+		allocs := testing.AllocsPerRun(20, func() {
+			st.Step(expDecay, 0, y, 1e-3, dst)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Step allocates %v times per call, want 0", st.Name(), allocs)
+		}
+	}
+}
+
+// TestSolveFixedStepLoopZeroAlloc pins the per-step allocation count of the
+// fixed-step solver to zero: a 100× longer integration must allocate exactly
+// as many times as a short one (the constant setup — solution backing,
+// double buffer, stepper scratch — is all that is permitted).
+func TestSolveFixedStepLoopZeroAlloc(t *testing.T) {
+	y0 := make([]float64, 64)
+	for i := range y0 {
+		y0[i] = 1
+	}
+	solve := func(tf float64) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := SolveFixed(expDecay, y0, 0, tf, 1e-3, NewRK4(len(y0)), &Options{Record: 1 << 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := solve(0.1), solve(10) // 100 steps vs 10_000 steps
+	if long != short {
+		t.Errorf("allocs grew with step count: %v (100 steps) vs %v (10000 steps); step loop is not alloc-free",
+			short, long)
+	}
+}
+
+// benchmarkStepCost times one fixed step of the given stepper on the
+// Digg-scale state dimension — the RK4-vs-Heun pair quantifies the per-step
+// price of the two extra stages.
+func benchmarkStepCost(b *testing.B, st Stepper) {
+	y := make([]float64, 1696)
+	dst := make([]float64, len(y))
+	for i := range y {
+		y[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(expDecay, 0, y, 1e-2, dst)
+	}
+}
+
+// BenchmarkStepCost compares the per-step cost of the fixed-step methods at
+// the Digg-scale dimension: RK4 evaluates four stages to Heun's two, so its
+// step should cost about twice as much — if it costs more, the stage
+// buffers have stopped streaming.
+func BenchmarkStepCost(b *testing.B) {
+	b.Run("heun", func(b *testing.B) { benchmarkStepCost(b, NewHeun(1696)) })
+	b.Run("rk4", func(b *testing.B) { benchmarkStepCost(b, NewRK4(1696)) })
+}
+
+// BenchmarkSolveFixedDiggScale times a full fixed-step solve at the
+// Digg-scale dimension with the default record cadence; with the
+// preallocated trajectory backing and pre-sized stepper the whole solve
+// performs a small constant number of allocations regardless of step count
+// (TestSolveFixedStepLoopZeroAlloc pins that).
+func BenchmarkSolveFixedDiggScale(b *testing.B) {
+	y0 := make([]float64, 1696)
+	for i := range y0 {
+		y0[i] = 0.5
+	}
+	st := NewRK4(len(y0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveFixed(expDecay, y0, 0, 1, 1e-3, st, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -31,13 +31,17 @@ var active atomic.Int64
 func Active() int { return int(active.Load()) }
 
 // Default resolves a worker-count setting: values above zero are returned
-// unchanged, anything else selects runtime.NumCPU(). A resolved value of 1
-// means "run inline on the calling goroutine".
+// unchanged, anything else selects runtime.GOMAXPROCS(0) — the number of
+// OS threads the scheduler will actually run, not the machine's core count.
+// Respecting GOMAXPROCS keeps fan-outs honest under `go test -cpu 1,4,8`
+// (the multi-core bench rig sweeps exactly this knob) and under deployments
+// that cap the process below the machine size. A resolved value of 1 means
+// "run inline on the calling goroutine".
 func Default(workers int) int {
 	if workers > 0 {
 		return workers
 	}
-	return runtime.NumCPU()
+	return runtime.GOMAXPROCS(0)
 }
 
 // NumShards returns the number of fixed-size shards covering [0, n).

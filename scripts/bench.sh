@@ -30,6 +30,21 @@
 #                                          WAL into pending state
 #       BenchmarkWALAppend, BenchmarkPutResult  raw store primitives
 #     the PR 5 claim is WAL-on throughput within 5% of WAL-off.
+#   pr6 — solver hot-loop kernels and multi-core scaling:
+#       internal/core: BenchmarkTheta, BenchmarkRHSDiggScale   fused-Θ RHS
+#       internal/ode:  BenchmarkStepCost/{heun,rk4},           zero-alloc
+#                      BenchmarkSolveFixedDiggScale            steppers
+#       internal/abm:  BenchmarkABMQuenchedStep{serial,parallel},
+#                      BenchmarkMeanRun{serial,parallel} at -cpu 1,4,8
+#     kernel benches are pinned to -cpu 1; the ABM pairs sweep
+#     GOMAXPROCS (the -N name suffix; absent means 1) and the JSON gets
+#     a "scaling" block: speedup = serial@1 ns / parallel@c ns,
+#     efficiency = speedup / c. Meaningful speedups need real cores —
+#     on a 1-cpu container every efficiency degenerates to ~1/c.
+#
+# Every suite records the machine ("cpus", "gomaxprocs") and every
+# benchmark entry carries the GOMAXPROCS it ran at, parsed from the
+# go-test name suffix.
 #
 # Usage:
 #
@@ -38,6 +53,7 @@
 #   scripts/bench.sh pr3             # pr3 -> BENCH_PR3.json
 #   scripts/bench.sh pr4             # pr4 -> BENCH_PR4.json
 #   scripts/bench.sh pr5             # pr5 -> BENCH_PR5.json
+#   scripts/bench.sh pr6             # pr6 -> BENCH_PR6.json
 #   scripts/bench.sh pr2 out.json    # explicit output path
 set -eu
 
@@ -83,12 +99,24 @@ pr5)
 	go test -run '^$' -bench 'BenchmarkRecovery1k$|BenchmarkWALAppend$|BenchmarkPutResult$' \
 		-benchmem ./internal/store | tee -a "$tmp"
 	;;
+pr6)
+	out="${2:-BENCH_PR6.json}"
+	scaling=1
+	note="kernel benches (core RHS/Theta, ode steppers) pinned to GOMAXPROCS=1; ABM serial/parallel pairs swept at -cpu 1,4,8; scaling lists speedup = ns@1 / ns@c and efficiency = speedup/c per pair — a 1-cpu host cannot show real speedup, rerun on multicore hardware for the scaling claim"
+	go test -run '^$' -bench 'BenchmarkTheta$|BenchmarkRHSDiggScale$' \
+		-benchmem -cpu 1 ./internal/core | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkStepCost|BenchmarkSolveFixedDiggScale$' \
+		-benchmem -cpu 1 ./internal/ode | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkABMQuenchedStep|BenchmarkMeanRun' \
+		-benchmem -cpu 1,4,8 ./internal/abm | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3, pr4 or pr5)" >&2
+	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3, pr4, pr5 or pr6)" >&2
 	exit 2
 	;;
 esac
 
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
 {
 	printf '{\n'
 	printf '  "suite": "%s",\n' "$suite"
@@ -96,15 +124,49 @@ esac
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "goos": "%s",\n' "$(go env GOOS)"
 	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
-	printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
+	printf '  "cpus": %s,\n' "$ncpu"
+	printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$ncpu}"
 	printf '  "note": "%s",\n' "$note"
-	printf '  "benchmarks": [\n'
-	awk '/^Benchmark/ {
-		sep = first++ ? ",\n" : ""
-		printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-			sep, $1, $2, $3, $5, $7
-	} END { print "" }' "$tmp"
-	printf '  ]\n'
+	# go test names benchmarks "Name-N" when GOMAXPROCS is N != 1 (the -cpu
+	# sweep); a bare name means 1. The suffix becomes each entry's
+	# "gomaxprocs". With scaling=1, serial@1 / parallel@c pairs additionally
+	# produce a "scaling" block.
+	awk -v scaling="${scaling:-0}" '
+	/^Benchmark/ {
+		name = $1; gmp = 1; base = $1
+		if (match(name, /-[0-9]+$/)) {
+			gmp = substr(name, RSTART + 1) + 0
+			base = substr(name, 1, RSTART - 1)
+		}
+		i = ++cnt
+		names[i] = name; bases[i] = base; gmps[i] = gmp
+		iters[i] = $2; ns[i] = $3; bytes[i] = $5; allocs[i] = $7
+		ns_at[base "@" gmp] = $3
+	}
+	END {
+		printf "  \"benchmarks\": [\n"
+		for (i = 1; i <= cnt; i++)
+			printf "    {\"name\": \"%s\", \"gomaxprocs\": %d, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+				names[i], gmps[i], iters[i], ns[i], bytes[i], allocs[i], (i < cnt ? "," : "")
+		printf "  ]"
+		if (scaling) {
+			m = 0
+			for (i = 1; i <= cnt; i++) {
+				if (bases[i] !~ /\/parallel$/) continue
+				serial = bases[i]; sub(/\/parallel$/, "/serial", serial)
+				if (!((serial "@" 1) in ns_at)) continue
+				sp = ns_at[serial "@" 1] / ns[i]
+				buf[++m] = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %d, \"speedup\": %.3f, \"efficiency\": %.3f}", \
+					bases[i], gmps[i], sp, sp / gmps[i])
+			}
+			if (m) {
+				printf ",\n  \"scaling\": [\n"
+				for (j = 1; j <= m; j++) printf "%s%s\n", buf[j], (j < m ? "," : "")
+				printf "  ]"
+			}
+		}
+		printf "\n"
+	}' "$tmp"
 	printf '}\n'
 } > "$out"
 

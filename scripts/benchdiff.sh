@@ -1,0 +1,71 @@
+#!/bin/sh
+# benchdiff.sh — compare two BENCH_*.json files produced by bench.sh.
+#
+# For every benchmark name present in both files it prints the old and new
+# ns_per_op and the relative delta; names whose ns_per_op grew by more than
+# the threshold (default 5%) are flagged as regressions and make the script
+# exit 1, so it can gate a CI lane:
+#
+#   scripts/benchdiff.sh BENCH_PR6.json new.json
+#   scripts/benchdiff.sh -t 10 old.json new.json   # 10% threshold
+#
+# Entries are matched on the full benchmark name (including the -N
+# GOMAXPROCS suffix), so a -cpu sweep diffs per-width. Remember that
+# cross-run numbers are only comparable on the same quiet machine; prefer
+# several runs of each side.
+set -eu
+
+threshold=5
+if [ "${1:-}" = "-t" ]; then
+	threshold="$2"
+	shift 2
+fi
+if [ $# -ne 2 ]; then
+	echo "usage: scripts/benchdiff.sh [-t pct] OLD.json NEW.json" >&2
+	exit 2
+fi
+old="$1"
+new="$2"
+[ -r "$old" ] || { echo "benchdiff.sh: cannot read $old" >&2; exit 2; }
+[ -r "$new" ] || { echo "benchdiff.sh: cannot read $new" >&2; exit 2; }
+
+# bench.sh writes one benchmark entry per line, so a line-oriented parse is
+# enough — no JSON tooling needed in the container.
+extract() {
+	awk '
+	/"name":/ && /"ns_per_op":/ {
+		line = $0
+		if (match(line, /"name": "[^"]*"/)) {
+			name = substr(line, RSTART + 9, RLENGTH - 10)
+			if (match(line, /"ns_per_op": [0-9.eE+-]+/))
+				printf "%s %s\n", name, substr(line, RSTART + 13, RLENGTH - 13)
+		}
+	}' "$1"
+}
+
+tmpo="$(mktemp)"
+tmpn="$(mktemp)"
+trap 'rm -f "$tmpo" "$tmpn"' EXIT
+extract "$old" > "$tmpo"
+extract "$new" > "$tmpn"
+
+awk -v thr="$threshold" -v oldfile="$old" -v newfile="$new" '
+NR == FNR { ns[$1] = $2; next }
+{
+	if (!($1 in ns)) { onlynew++; next }
+	seen[$1] = 1
+	delta = ($2 - ns[$1]) / ns[$1] * 100
+	flag = ""
+	if (delta > thr) { flag = "  REGRESSION"; bad++ }
+	else if (delta < -thr) flag = "  improved"
+	printf "%-60s %14.1f %14.1f %+8.1f%%%s\n", $1, ns[$1], $2, delta, flag
+	matched++
+}
+END {
+	for (n in ns) if (!(n in seen)) onlyold++
+	if (!matched) { printf "benchdiff: no common benchmark names between %s and %s\n", oldfile, newfile; exit 2 }
+	if (onlyold) printf "(%d entries only in %s)\n", onlyold, oldfile
+	if (onlynew) printf "(%d entries only in %s)\n", onlynew, newfile
+	if (bad) { printf "benchdiff: %d regression(s) beyond %s%%\n", bad, thr; exit 1 }
+	printf "benchdiff: ok (threshold %s%%)\n", thr
+}' "$tmpo" "$tmpn"

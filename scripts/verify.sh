@@ -11,7 +11,9 @@
 # cancellation under the detector) and the durable store (internal/store:
 # WAL appends racing the batched-fsync flusher, concurrent blob Put/Get/GC,
 # and the service's crash-recovery E2E) must stay data-race free; -race
-# roughly 10x-es the runtime, so it is a separate gate. Usage:
+# roughly 10x-es the runtime, so it is a separate gate. Tier 2 also runs
+# every benchmark for exactly one iteration — benchmarks bit-rot silently
+# otherwise (the bench.sh suites only exercise their own subset). Usage:
 #
 #   scripts/verify.sh         # tier 1 only
 #   scripts/verify.sh -race   # tier 1 + tier 2
@@ -24,9 +26,10 @@ go build ./...
 go test ./...
 
 if [ "${1:-}" = "-race" ]; then
-	echo "== tier 2: vet + race"
+	echo "== tier 2: vet + race + bench smoke"
 	go vet ./...
 	go test -race ./...
+	go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
 fi
 
 echo "verify: ok"
