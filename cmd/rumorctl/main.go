@@ -8,6 +8,7 @@
 //	rumorctl [flags]
 //	rumorctl events [-addr URL] [-follow] <job-id>
 //	rumorctl jobs [-addr URL] [-limit N] [-status S]
+//	rumorctl workers [-addr URL]
 //
 // Examples:
 //
@@ -16,12 +17,15 @@
 //	rumorctl -tf 60 -compare-heuristic
 //	rumorctl events -addr http://localhost:8080 -follow j-000001
 //	rumorctl jobs -status failed -limit 20
+//	rumorctl workers -addr http://localhost:8080
 //
 // The events subcommand tails a rumord job's flight recorder: it replays
 // the recorded lifecycle, solver-checkpoint and invariant-violation
 // entries and, with -follow, streams new ones live over SSE until the job
 // finishes. The jobs subcommand lists the daemon's retained jobs newest
-// first, optionally filtered by status.
+// first, optionally filtered by status. The workers subcommand lists the
+// worker nodes registered with a clustered coordinator, with lease counts
+// and liveness.
 package main
 
 import (
@@ -81,8 +85,10 @@ func run(args []string) error {
 			return runEvents(args[1:], os.Stdout)
 		case "jobs":
 			return runJobs(args[1:], os.Stdout)
+		case "workers":
+			return runWorkers(args[1:], os.Stdout)
 		default:
-			return cli.Usagef("unknown subcommand %q (supported: events, jobs)", args[0])
+			return cli.Usagef("unknown subcommand %q (supported: events, jobs, workers)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("rumorctl", flag.ContinueOnError)

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rumornet/internal/cli"
+	"rumornet/internal/cluster"
+)
+
+// runWorkers implements `rumorctl workers`: it fetches the coordinator's
+// worker registry (GET /v1/workers) and renders one table row per worker.
+// Against a standalone daemon the registry is empty — jobs run in-process.
+func runWorkers(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rumorctl workers", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the rumord coordinator")
+	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("usage: rumorctl workers [flags]")
+	}
+
+	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/v1/workers")
+	if err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("rumord: %s", apiErr.Error)
+		}
+		return fmt.Errorf("rumord: status %d", resp.StatusCode)
+	}
+	var page struct {
+		Workers []cluster.WorkerInfo `json:"workers"`
+		Count   int                  `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return fmt.Errorf("decode worker registry: %w", err)
+	}
+	if page.Count == 0 {
+		fmt.Fprintln(out, "no workers registered (standalone daemon, or none have polled yet)")
+		return nil
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tADDR\tSTATE\tLEASES\tCOMPLETED\tLAST SEEN")
+	for _, w := range page.Workers {
+		state := "live"
+		if !w.Live {
+			state = "lost"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s ago\n",
+			w.ID, w.Addr, state, w.LeasesHeld, w.JobsCompleted,
+			time.Since(w.LastSeen).Round(time.Millisecond))
+	}
+	return tw.Flush()
+}

@@ -44,6 +44,22 @@
 //
 //	rumord -addr :8080 -data-dir /var/lib/rumord &
 //	curl -s localhost:8080/v1/stats | jq .store
+//
+// Clustering: -mode splits the daemon into a coordinator (public API, queue,
+// WAL, result store; no local execution) and stateless workers that lease
+// jobs over the coordinator's internal API, heartbeat progress back, and
+// upload results. -mode standalone (the default) is the single-node pool
+// described above:
+//
+//	rumord -mode coordinator -addr :8080 -data-dir /var/lib/rumord &
+//	rumord -mode worker -coordinator http://localhost:8080 &
+//	rumord -mode worker -coordinator http://localhost:8080 &
+//	curl -s localhost:8080/v1/workers | jq
+//
+// A worker killed mid-job is harmless: its lease expires (-lease-ttl) and
+// the coordinator requeues the job (at most -max-attempts grants) onto a
+// surviving worker. A SIGTERM'd worker finishes its leased job, uploads the
+// result, deregisters and exits.
 package main
 
 import (
@@ -57,10 +73,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"rumornet/internal/cli"
+	"rumornet/internal/cluster/worker"
 	"rumornet/internal/service"
 	"rumornet/internal/store"
 )
@@ -77,6 +95,7 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
 	var (
+		mode         = fs.String("mode", "standalone", `"standalone" (in-process pool), "coordinator" (serve API, lease jobs to workers) or "worker" (execute jobs for -coordinator)`)
 		addr         = fs.String("addr", ":8080", "listen address")
 		workers      = fs.Int("workers", 0, "job-executing goroutines (0: all CPUs)")
 		innerWorkers = fs.Int("inner-workers", 1, "per-job fan-out goroutines for ABM trials (0: all CPUs)")
@@ -95,6 +114,18 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		dataDir      = fs.String("data-dir", "", "durable store directory: job WAL + result blobs, replayed on restart (empty: in-memory only)")
 		walSync      = fs.String("wal-sync", "100ms", `WAL durability with -data-dir: "always", "none", or a batched-fsync interval`)
 		storeMax     = fs.Int64("store-max-bytes", 1<<30, "result-store size bound, oldest blobs evicted first (0: unbounded)")
+
+		// Coordinator-mode flags.
+		leaseTTL       = fs.Duration("lease-ttl", 15*time.Second, "coordinator: lease duration; a worker silent this long forfeits its job")
+		maxAttempts    = fs.Int("max-attempts", 3, "coordinator: lease grants per job before it fails terminally (poison-job guard)")
+		workerLiveness = fs.Duration("worker-liveness", 0, "coordinator: window within which a worker must poll or heartbeat to count as live (0: 3x -lease-ttl)")
+
+		// Worker-mode flags.
+		coordinator = fs.String("coordinator", "", "worker: coordinator base URL, e.g. http://host:8080 (required in -mode worker)")
+		workerID    = fs.String("worker-id", "", "worker: registry name (default: w-<hostname>-<pid>)")
+		heartbeat   = fs.Duration("heartbeat", 0, "worker: lease-renewal cadence (0: a third of the granted TTL)")
+		pollMin     = fs.Duration("poll-min", 50*time.Millisecond, "worker: minimum lease-poll backoff on an empty queue")
+		pollMax     = fs.Duration("poll-max", 2*time.Second, "worker: maximum lease-poll backoff on an empty queue")
 	)
 	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
@@ -106,6 +137,17 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	}
 	if fs.NArg() > 0 {
 		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	switch *mode {
+	case "standalone", "coordinator", "worker":
+	default:
+		return cli.Usagef(`-mode = %q must be "standalone", "coordinator" or "worker"`, *mode)
+	}
+	if *mode == "worker" && *coordinator == "" {
+		return cli.Usagef("-mode worker requires -coordinator")
+	}
+	if *mode != "worker" && *coordinator != "" {
+		return cli.Usagef("-coordinator only applies in -mode worker")
 	}
 	switch {
 	case *workers < 0:
@@ -132,6 +174,45 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		return cli.Usagef("-sse-heartbeat = %s must be positive", *sseHeartbeat)
 	case *storeMax < 0:
 		return cli.Usagef("-store-max-bytes = %d must be non-negative", *storeMax)
+	case *leaseTTL <= 0:
+		return cli.Usagef("-lease-ttl = %s must be positive", *leaseTTL)
+	case *maxAttempts < 1:
+		return cli.Usagef("-max-attempts = %d must be at least 1", *maxAttempts)
+	case *workerLiveness < 0:
+		return cli.Usagef("-worker-liveness = %s must be non-negative", *workerLiveness)
+	case *heartbeat < 0:
+		return cli.Usagef("-heartbeat = %s must be non-negative", *heartbeat)
+	case *pollMin <= 0:
+		return cli.Usagef("-poll-min = %s must be positive", *pollMin)
+	case *pollMax < *pollMin:
+		return cli.Usagef("-poll-max = %s must be at least -poll-min = %s", *pollMax, *pollMin)
+	}
+
+	// A worker node is a client, not a server: no listener, no store, no
+	// queue. It loops leasing jobs from the coordinator until ctx cancels,
+	// then finishes its current job, deregisters and exits.
+	if *mode == "worker" {
+		inner := *innerWorkers
+		if inner == 0 {
+			inner = runtime.NumCPU()
+		}
+		fmt.Fprintf(out, "rumord: worker polling %s (inner-workers %d)\n", *coordinator, inner)
+		if ready != nil {
+			ready(nil)
+		}
+		err := worker.Run(ctx, worker.Options{
+			Coordinator:  *coordinator,
+			ID:           *workerID,
+			InnerWorkers: inner,
+			PollMin:      *pollMin,
+			PollMax:      *pollMax,
+			Heartbeat:    *heartbeat,
+			Logger:       lg,
+		})
+		if err == nil {
+			fmt.Fprintln(out, "rumord: bye")
+		}
+		return err
 	}
 	syncMode, syncInterval, err := store.ParseSyncMode(*walSync)
 	if err != nil {
@@ -178,6 +259,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 			SyncInterval:   syncInterval,
 			ResultMaxBytes: resultMax,
 		},
+		Cluster: service.ClusterConfig{
+			Enabled:        *mode == "coordinator",
+			LeaseTTL:       *leaseTTL,
+			MaxAttempts:    *maxAttempts,
+			WorkerLiveness: *workerLiveness,
+		},
 	})
 	if err != nil {
 		return err
@@ -190,8 +277,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	}
 	defer ln.Close() // no-op once Serve/Shutdown owns it; closes it on early error returns
 	srv := &http.Server{Handler: svc.Handler()}
-	fmt.Fprintf(out, "rumord: listening on %s (%d workers, queue %d, cache %d)\n",
-		ln.Addr(), svc.Stats().Workers, *queueDepth, *cacheSize)
+	if *mode == "coordinator" {
+		fmt.Fprintf(out, "rumord: coordinator listening on %s (lease-ttl %s, max-attempts %d, queue %d, cache %d)\n",
+			ln.Addr(), *leaseTTL, *maxAttempts, *queueDepth, *cacheSize)
+	} else {
+		fmt.Fprintf(out, "rumord: listening on %s (%d workers, queue %d, cache %d)\n",
+			ln.Addr(), svc.Stats().Workers, *queueDepth, *cacheSize)
+	}
 
 	// The debug listener is opt-in and meant to stay private (bind it to
 	// loopback): pprof exposes heap contents and /metrics skips the API

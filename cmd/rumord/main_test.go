@@ -61,6 +61,15 @@ func TestFlagValidation(t *testing.T) {
 		{"negative journal max bytes", []string{"-journal-max-bytes", "-1"}, 2},
 		{"negative store max bytes", []string{"-store-max-bytes", "-1"}, 2},
 		{"bad wal sync", []string{"-wal-sync", "sometimes"}, 2},
+		{"unknown mode", []string{"-mode", "leader"}, 2},
+		{"worker without coordinator", []string{"-mode", "worker"}, 2},
+		{"coordinator flag outside worker mode", []string{"-coordinator", "http://localhost:8080"}, 2},
+		{"zero lease ttl", []string{"-mode", "coordinator", "-lease-ttl", "0s"}, 2},
+		{"zero max attempts", []string{"-mode", "coordinator", "-max-attempts", "0"}, 2},
+		{"negative worker liveness", []string{"-mode", "coordinator", "-worker-liveness", "-1s"}, 2},
+		{"negative heartbeat", []string{"-mode", "worker", "-coordinator", "http://h", "-heartbeat", "-1s"}, 2},
+		{"zero poll min", []string{"-mode", "worker", "-coordinator", "http://h", "-poll-min", "0s"}, 2},
+		{"poll max below poll min", []string{"-mode", "worker", "-coordinator", "http://h", "-poll-min", "1s", "-poll-max", "10ms"}, 2},
 		{"unwritable data dir", []string{"-addr", "127.0.0.1:0", "-data-dir", "/proc/no-such/data"}, 1},
 		{"unwritable journal file", []string{"-addr", "127.0.0.1:0", "-journal-file", "/no/such/dir/journal.jsonl"}, 1},
 		{"unparseable debug address", []string{"-addr", "127.0.0.1:0", "-debug-addr", "999.999.999.999:1"}, 1},
@@ -382,6 +391,119 @@ func TestJournalRotation(t *testing.T) {
 	}
 	if len(cur) > 512+256 {
 		t.Errorf("active journal grew to %d bytes despite the 512-byte cap", len(cur))
+	}
+}
+
+// TestClusterLifecycle boots a coordinator and a worker through the real
+// CLI wiring: the coordinator serves the public API without local execution,
+// the worker leases the job over the internal API and uploads the result,
+// and both drain gracefully on context cancellation (the SIGTERM path).
+func TestClusterLifecycle(t *testing.T) {
+	base, errCh, cancel := bootDaemon(t, "-mode", "coordinator", "-lease-ttl", "2s")
+	defer cancel()
+
+	// With no worker yet, a queued job must flip readiness to degraded.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type":"threshold","params":{"lambda0":0.02}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Worker string `json:"worker"`
+	}
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = http.Get(base + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz with queued work and no workers: %d, want 503", resp.StatusCode)
+	}
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	wErr := make(chan error, 1)
+	go func() {
+		wErr <- run(wctx, []string{"-mode", "worker", "-coordinator", base,
+			"-worker-id", "w-cli", "-poll-min", "5ms", "-poll-max", "50ms"},
+			io.Discard, nil)
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status != "succeeded" {
+		if time.Now().After(deadline) || job.Status == "failed" || job.Status == "cancelled" {
+			t.Fatalf("job stuck in %q (%s)", job.Status, job.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if job.Worker != "w-cli" {
+		t.Errorf("completed job carries worker %q, want %q", job.Worker, "w-cli")
+	}
+
+	// The registry lists the live worker, and readiness has recovered.
+	if resp, err = http.Get(base + "/v1/workers"); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var reg struct {
+		Count   int `json:"count"`
+		Workers []struct {
+			ID            string `json:"id"`
+			Live          bool   `json:"live"`
+			JobsCompleted int64  `json:"jobs_completed"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(raw, &reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Count != 1 || reg.Workers[0].ID != "w-cli" || !reg.Workers[0].Live || reg.Workers[0].JobsCompleted != 1 {
+		t.Errorf("worker registry = %s, want one live w-cli with 1 completed job", raw)
+	}
+	if resp, err = http.Get(base + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz with a live worker: %d, want 200", resp.StatusCode)
+	}
+
+	wcancel()
+	select {
+	case err := <-wErr:
+		if err != nil {
+			t.Fatalf("worker shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not shut down")
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("coordinator shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not shut down")
 	}
 }
 

@@ -1,0 +1,360 @@
+// Package worker implements the rumord worker node: a stateless loop that
+// leases jobs from a coordinator (internal/service's internal API), runs
+// them through the same executor standalone mode uses, streams progress
+// back on heartbeats, and uploads the terminal result. Workers hold no
+// durable state — the coordinator owns the queue, the WAL and the result
+// store — so killing one loses at most the work of its current lease, which
+// the coordinator's reaper requeues after the lease TTL.
+package worker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"rumornet/internal/obs"
+	"rumornet/internal/service"
+)
+
+// Options parameterizes a worker node. Coordinator is required; everything
+// else has a sane default.
+type Options struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// ID names this worker in leases, metrics and GET /v1/workers
+	// (default: "w-<hostname>-<pid>").
+	ID string
+	// Addr is an optional advertised address recorded in the registry.
+	Addr string
+	// InnerWorkers bounds each job's internal fan-out (default 1).
+	InnerWorkers int
+	// PollMin and PollMax bound the jittered exponential backoff between
+	// lease polls of an empty queue (defaults 50ms and 2s). A grant resets
+	// the backoff, and a worker that just finished a job re-polls
+	// immediately.
+	PollMin time.Duration
+	PollMax time.Duration
+	// Heartbeat is the lease-renewal cadence (default: a third of the TTL
+	// the coordinator granted, per job).
+	Heartbeat time.Duration
+	// Client is the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+	// Logger receives the worker's structured records (nil discards).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.ID = fmt.Sprintf("w-%s-%d", host, os.Getpid())
+	}
+	if o.InnerWorkers < 1 {
+		o.InnerWorkers = 1
+	}
+	if o.PollMin <= 0 {
+		o.PollMin = 50 * time.Millisecond
+	}
+	if o.PollMax < o.PollMin {
+		o.PollMax = 2 * time.Second
+		if o.PollMax < o.PollMin {
+			o.PollMax = o.PollMin
+		}
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
+	return o
+}
+
+// eventBufferCap bounds the progress events buffered between heartbeats; a
+// chatty solver overwrites nothing downstream (the coordinator's journal is
+// a ring anyway), so beyond the cap the oldest buffered events are dropped
+// and counted.
+const eventBufferCap = 512
+
+// Run executes the worker loop until ctx is cancelled. Cancellation drains
+// gracefully: the job currently leased (if any) runs to completion and its
+// result is uploaded before Run deregisters and returns — a SIGTERM'd
+// worker finishes what it claimed. Run only returns a non-nil error for
+// unusable options.
+func Run(ctx context.Context, opts Options) error {
+	opts = opts.withDefaults()
+	if opts.Coordinator == "" {
+		return errors.New("worker: coordinator URL required")
+	}
+	lg := opts.Logger.With("worker", opts.ID)
+	lg.Info("worker started", "coordinator", opts.Coordinator)
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	delay := opts.PollMin
+	for ctx.Err() == nil {
+		leased, err := lease(ctx, opts)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				break
+			}
+			lg.Warn("lease poll failed", "error", err.Error())
+			delay = sleepBackoff(ctx, rng, delay, opts)
+		case leased == nil: // empty queue
+			delay = sleepBackoff(ctx, rng, delay, opts)
+		default:
+			delay = opts.PollMin
+			runLeased(opts, leased, lg)
+			// Re-poll immediately: a saturated queue keeps the worker busy
+			// back to back.
+		}
+	}
+	deregister(opts)
+	lg.Info("worker stopped")
+	return nil
+}
+
+// sleepBackoff sleeps the current backoff delay (±50% jitter, interruptible
+// by ctx) and returns the next delay, doubled up to PollMax.
+func sleepBackoff(ctx context.Context, rng *rand.Rand, delay time.Duration, opts Options) time.Duration {
+	jittered := delay/2 + time.Duration(rng.Int63n(int64(delay)+1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+	next := delay * 2
+	if next > opts.PollMax {
+		next = opts.PollMax
+	}
+	return next
+}
+
+// runLeased executes one leased job end to end: heartbeat loop, executor,
+// result upload. The job runs under its own timeout context detached from
+// the worker's run context, so a drain (SIGTERM) lets it finish.
+func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
+	jlg := lg.With("job_id", leased.JobID, "trace_id", leased.TraceID)
+	jlg.Info("job leased", "type", leased.Request.Type,
+		"attempt", leased.Attempt, "max_attempts", leased.MaxAttempts)
+
+	timeout := time.Duration(leased.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	jobCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Progress events buffer here between heartbeats; the sink runs on
+	// solver goroutines, so the buffer is locked.
+	var (
+		mu      sync.Mutex
+		events  []service.ProgressEvent
+		dropped int
+	)
+	sink := func(ev obs.Event) {
+		mu.Lock()
+		if len(events) >= eventBufferCap {
+			events = events[1:]
+			dropped++
+		}
+		events = append(events, service.WireProgress(ev))
+		mu.Unlock()
+	}
+	drain := func() []service.ProgressEvent {
+		mu.Lock()
+		out := events
+		events = nil
+		mu.Unlock()
+		return out
+	}
+
+	// The heartbeat loop extends the lease and relays buffered progress.
+	// A conflict (the coordinator reaped or re-granted the lease) marks the
+	// lease lost and cancels the job: finishing it would waste cycles on a
+	// result the fenced upload is going to reject anyway.
+	hb := opts.Heartbeat
+	if hb <= 0 {
+		hb = time.Duration(leased.LeaseTTLMS) * time.Millisecond / 3
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	var leaseLost bool
+	var lostMu sync.Mutex
+	stopHB := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-t.C:
+			}
+			ack, status, err := heartbeat(opts, leased, drain())
+			switch {
+			case err != nil:
+				jlg.Warn("heartbeat failed", "error", err.Error())
+			case status == http.StatusConflict || status == http.StatusNotFound:
+				lostMu.Lock()
+				leaseLost = true
+				lostMu.Unlock()
+				jlg.Warn("lease lost; abandoning job", "status", status)
+				cancel()
+				return
+			case ack.Cancel:
+				jlg.Info("cancellation requested by coordinator")
+				cancel()
+			}
+		}
+	}()
+
+	start := time.Now()
+	sc, err := service.ScenarioFromTable(leased.Scenario)
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = service.ExecuteRequest(jobCtx, sc, leased.Request, opts.InnerWorkers, sink)
+	}
+	close(stopHB)
+	<-hbDone
+
+	res := service.ResultRequest{
+		WorkerID:   opts.ID,
+		LeaseToken: leased.LeaseToken,
+		Events:     drain(),
+	}
+	switch {
+	case err == nil:
+		res.Status = string(service.StatusSucceeded)
+		res.Result = raw
+	case errors.Is(err, context.DeadlineExceeded):
+		res.Status = string(service.StatusFailed)
+		res.Error = fmt.Sprintf("timed out after %s: %v", timeout, err)
+	case errors.Is(err, context.Canceled):
+		res.Status = string(service.StatusCancelled)
+		res.Error = fmt.Sprintf("cancelled by client: %v", err)
+	default:
+		res.Status = string(service.StatusFailed)
+		res.Error = err.Error()
+	}
+	if dropped > 0 {
+		jlg.Warn("progress events dropped by the heartbeat buffer", "dropped", dropped)
+	}
+
+	lostMu.Lock()
+	lost := leaseLost
+	lostMu.Unlock()
+	if lost {
+		return // the coordinator moved on; a stale upload would 409 anyway
+	}
+	status, err := upload(opts, leased, res)
+	elapsed := time.Since(start)
+	switch {
+	case err != nil:
+		jlg.Warn("result upload failed", "error", err.Error(),
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	case status == http.StatusConflict:
+		jlg.Warn("result upload rejected: stale lease",
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	default:
+		jlg.Info("job finished", "status", res.Status,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	}
+}
+
+// lease polls the coordinator for the next job: (nil, nil) when the queue
+// is empty (204).
+func lease(ctx context.Context, opts Options) (*service.LeasedJob, error) {
+	var leased service.LeasedJob
+	status, err := postJSON(ctx, opts,
+		opts.Coordinator+"/v1/internal/lease",
+		service.LeaseRequest{WorkerID: opts.ID, Addr: opts.Addr}, &leased)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		return &leased, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("lease: unexpected status %d", status)
+	}
+}
+
+// heartbeat extends the job's lease, shipping buffered progress events.
+// HTTP-level failures return err; application rejections return the status.
+func heartbeat(opts Options, leased *service.LeasedJob, events []service.ProgressEvent) (service.HeartbeatAck, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var ack service.HeartbeatAck
+	status, err := postJSON(ctx, opts,
+		fmt.Sprintf("%s/v1/internal/jobs/%s/heartbeat", opts.Coordinator, leased.JobID),
+		service.HeartbeatRequest{
+			WorkerID: opts.ID, LeaseToken: leased.LeaseToken, Events: events,
+		}, &ack)
+	return ack, status, err
+}
+
+// upload posts the terminal result. It uses a generous detached context:
+// the job is done, losing the upload to a worker shutdown would waste it.
+func upload(opts Options, leased *service.LeasedJob, res service.ResultRequest) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return postJSON(ctx, opts,
+		fmt.Sprintf("%s/v1/internal/jobs/%s/result", opts.Coordinator, leased.JobID),
+		res, nil)
+}
+
+// deregister says goodbye on drain, best effort.
+func deregister(opts Options) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	postJSON(ctx, opts,
+		fmt.Sprintf("%s/v1/internal/workers/%s/deregister", opts.Coordinator, opts.ID),
+		struct{}{}, nil)
+}
+
+// postJSON posts body as JSON and decodes a 2xx response into out (when
+// non-nil and the response has a body). Non-2xx statuses are returned for
+// the caller to interpret, not turned into errors.
+func postJSON(ctx context.Context, opts Options, url string, body, out any) (int, error) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return 0, fmt.Errorf("worker: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		return 0, fmt.Errorf("worker: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("worker: decode response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -27,6 +27,9 @@ const (
 	// KindInvariant records a numerical-invariant violation
 	// (internal/obs/invariant).
 	KindInvariant = "invariant"
+	// KindLease records cluster lease transitions — grant, expiry, requeue
+	// — so a job's journal shows it migrating between workers.
+	KindLease = "lease"
 )
 
 // Entry is one recorded event of a job. Entries are immutable once

@@ -1,0 +1,662 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rumornet/internal/cluster"
+	"rumornet/internal/degreedist"
+	"rumornet/internal/obs"
+	"rumornet/internal/obs/invariant"
+	"rumornet/internal/obs/journal"
+)
+
+// This file is the coordinator side of distributed rumord (DESIGN.md §12).
+// When Config.Cluster.Enabled is set, the Service starts no local workers;
+// instead remote worker nodes (internal/cluster/worker) claim queued jobs
+// over the internal API:
+//
+//	POST /v1/internal/lease                  — claim the next queued job
+//	POST /v1/internal/jobs/{id}/heartbeat    — extend the lease, relay progress
+//	POST /v1/internal/jobs/{id}/result       — upload the terminal outcome
+//	POST /v1/internal/workers/{id}/deregister — graceful goodbye on drain
+//
+// Every grant mints a fenced lease token; heartbeats and uploads carrying a
+// token that is no longer current are rejected with ErrStaleLease (409), so
+// a worker presumed dead cannot corrupt a job that has since been requeued.
+// The public API is unchanged: leased jobs read as running with live
+// progress (the heartbeat feeds the same sink pipeline runJob wires), and a
+// result upload lands blob + terminal WAL record before the terminal status
+// publishes — the PR 5 durability-before-visibility ordering, extended from
+// process crash to node loss.
+
+// ErrStaleLease marks a heartbeat or result upload whose lease token is no
+// longer current (409): the lease expired and the job was requeued, or the
+// coordinator restarted and all tokens died with it.
+var ErrStaleLease = errors.New("stale lease")
+
+// ClusterConfig parameterizes coordinator mode. The zero value (Enabled ==
+// false) keeps the service standalone: an in-process worker pool and no
+// internal API.
+type ClusterConfig struct {
+	// Enabled switches the service to coordinator mode: no local workers,
+	// jobs execute on remote nodes under leases.
+	Enabled bool
+	// LeaseTTL is how long a granted lease lives without a heartbeat
+	// (default 15s). Expiry requeues the job, so the TTL bounds how long a
+	// dead worker delays its jobs.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds lease grants per job (default 3); a job whose
+	// budget is exhausted fails terminally instead of crash-looping the
+	// cluster (the poison-job guard).
+	MaxAttempts int
+	// WorkerLiveness is the window within which a worker must have polled
+	// or heartbeated to count as live for /readyz and /v1/workers
+	// (default 3x LeaseTTL).
+	WorkerLiveness time.Duration
+	// ReapInterval is the lease-reaper cadence (default LeaseTTL/4).
+	ReapInterval time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.WorkerLiveness <= 0 {
+		c.WorkerLiveness = 3 * c.LeaseTTL
+	}
+	if c.ReapInterval <= 0 {
+		c.ReapInterval = c.LeaseTTL / 4
+		if c.ReapInterval <= 0 {
+			c.ReapInterval = time.Millisecond
+		}
+	}
+	return c
+}
+
+// ScenarioTable is the wire form of a scenario: the exact degree table,
+// from which a worker rebuilds the Scenario (and the identical fingerprint,
+// hence identical cache keys and bit-identical results).
+type ScenarioTable struct {
+	Name    string    `json:"name"`
+	Source  string    `json:"source"`
+	Degrees []int     `json:"degrees"`
+	Probs   []float64 `json:"probs"`
+}
+
+// ScenarioFromTable rebuilds a Scenario from its wire table. Workers call
+// it on every leased job; construction is microseconds against the solver
+// seconds it precedes.
+func ScenarioFromTable(t ScenarioTable) (*Scenario, error) {
+	d, err := degreedist.New(t.Degrees, t.Probs)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", t.Name, err)
+	}
+	return &Scenario{
+		Name:        t.Name,
+		Source:      t.Source,
+		Groups:      d.N(),
+		MinDegree:   d.MinDegree(),
+		MaxDegree:   d.MaxDegree(),
+		MeanDegree:  d.MeanDegree(),
+		Fingerprint: fingerprintDist(d),
+		dist:        d,
+	}, nil
+}
+
+// scenarioTable flattens a registered scenario into its wire form.
+func scenarioTable(sc *Scenario) ScenarioTable {
+	d := sc.dist
+	t := ScenarioTable{
+		Name:    sc.Name,
+		Source:  sc.Source,
+		Degrees: make([]int, d.N()),
+		Probs:   make([]float64, d.N()),
+	}
+	for i := 0; i < d.N(); i++ {
+		t.Degrees[i] = d.Degree(i)
+		t.Probs[i] = d.Prob(i)
+	}
+	return t
+}
+
+// ExecuteRequest runs one resolved request against a scenario and returns
+// the marshalled result payload — the executor worker nodes share with the
+// coordinator's standalone mode, so a job computes the identical bytes
+// wherever it runs. The request must carry canonicalized parameters (a
+// LeasedJob always does).
+func ExecuteRequest(ctx context.Context, sc *Scenario, req Request, innerWorkers int, prog obs.Progress) (json.RawMessage, error) {
+	if innerWorkers < 1 {
+		innerWorkers = 1
+	}
+	payload, err := execute(withInnerWorkers(ctx, innerWorkers), sc, req, prog)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(payload)
+}
+
+// ProgressEvent is the wire form of one solver checkpoint (obs.Event),
+// relayed coordinator-ward in heartbeat and result payloads.
+type ProgressEvent struct {
+	Stage     string  `json:"stage,omitempty"`
+	Step      int     `json:"step,omitempty"`
+	Total     int     `json:"total,omitempty"`
+	T         float64 `json:"t,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	ElapsedUS int64   `json:"elapsed_us,omitempty"`
+	MinI      float64 `json:"min_i,omitempty"`
+	MassErr   float64 `json:"mass_err,omitempty"`
+}
+
+// WireProgress converts a solver checkpoint to its wire form.
+func WireProgress(ev obs.Event) ProgressEvent {
+	return ProgressEvent{
+		Stage: ev.Stage, Step: ev.Step, Total: ev.Total, T: ev.T,
+		Value: ev.Value, Cost: ev.Cost,
+		ElapsedUS: ev.Elapsed.Microseconds(),
+		MinI:      ev.MinI, MassErr: ev.MassErr,
+	}
+}
+
+func (p ProgressEvent) toObs() obs.Event {
+	return obs.Event{
+		Stage: p.Stage, Step: p.Step, Total: p.Total, T: p.T,
+		Value: p.Value, Cost: p.Cost,
+		Elapsed: time.Duration(p.ElapsedUS) * time.Microsecond,
+		MinI:    p.MinI, MassErr: p.MassErr,
+	}
+}
+
+// LeaseRequest is the body of POST /v1/internal/lease.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Addr     string `json:"addr,omitempty"`
+}
+
+// LeasedJob is the coordinator's answer to a successful lease: everything a
+// stateless worker needs to execute the job and nothing more.
+type LeasedJob struct {
+	JobID    string        `json:"job_id"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	Request  Request       `json:"request"`
+	Scenario ScenarioTable `json:"scenario"`
+	// TimeoutMS is the job's wall-clock budget; the worker enforces it
+	// locally (the lease TTL separately bounds silence, not runtime).
+	TimeoutMS int64 `json:"timeout_ms"`
+	// LeaseToken fences this grant; every heartbeat and the result upload
+	// must present it.
+	LeaseToken  string `json:"lease_token"`
+	LeaseTTLMS  int64  `json:"lease_ttl_ms"`
+	Attempt     int    `json:"attempt"`
+	MaxAttempts int    `json:"max_attempts"`
+}
+
+// HeartbeatRequest is the body of POST /v1/internal/jobs/{id}/heartbeat.
+type HeartbeatRequest struct {
+	WorkerID   string          `json:"worker_id"`
+	LeaseToken string          `json:"lease_token"`
+	Events     []ProgressEvent `json:"events,omitempty"`
+}
+
+// HeartbeatAck extends the lease and carries the coordinator's cancel
+// request back to the worker.
+type HeartbeatAck struct {
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	Cancel     bool  `json:"cancel,omitempty"`
+}
+
+// ResultRequest is the body of POST /v1/internal/jobs/{id}/result.
+type ResultRequest struct {
+	WorkerID   string `json:"worker_id"`
+	LeaseToken string `json:"lease_token"`
+	// Status is the terminal outcome the worker reached: succeeded, failed
+	// or cancelled.
+	Status string          `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// Events is the tail of progress events since the last heartbeat,
+	// applied before the job finalizes so the journal is complete.
+	Events []ProgressEvent `json:"events,omitempty"`
+}
+
+// ClusterStats is the cluster section of /v1/stats on a coordinator.
+type ClusterStats struct {
+	// Workers counts registered workers seen within the liveness window.
+	Workers      int `json:"workers"`
+	LeasesActive int `json:"leases_active"`
+	// LeaseExpirations counts leases reaped after their TTL passed without
+	// a heartbeat; Requeues the expired jobs that re-entered the queue
+	// (the difference fell to cancellation or the attempt budget).
+	LeaseExpirations int64 `json:"lease_expirations"`
+	Requeues         int64 `json:"requeues"`
+}
+
+// Workers snapshots the worker registry (empty, never nil, on a standalone
+// service, so GET /v1/workers is well-formed in every mode).
+func (s *Service) Workers() []cluster.WorkerInfo {
+	if s.table == nil {
+		return []cluster.WorkerInfo{}
+	}
+	ws := s.table.Workers()
+	if ws == nil {
+		ws = []cluster.WorkerInfo{}
+	}
+	return ws
+}
+
+// Degraded reports why a coordinator should not receive submit traffic, or
+// "" when healthy: queued work with zero live workers means every accepted
+// job would sit until a worker appears, and the load balancer should know.
+func (s *Service) Degraded() string {
+	if s.table == nil {
+		return ""
+	}
+	if qd := len(s.queue); qd > 0 && s.table.LiveWorkers() == 0 {
+		return fmt.Sprintf("no live workers, %d jobs queued", qd)
+	}
+	return ""
+}
+
+// DeregisterWorker removes a worker from the registry — the drain goodbye.
+// Its leases, if any remain, expire normally.
+func (s *Service) DeregisterWorker(id string) {
+	if s.table == nil {
+		return
+	}
+	s.table.Deregister(id)
+	s.cfg.Logger.Info("worker deregistered", "worker", id)
+}
+
+// LeaseNext claims the next queued job for a worker. It returns (nil, nil)
+// when the queue is empty — the worker backs off and polls again.
+func (s *Service) LeaseNext(workerID, addr string) (*LeasedJob, error) {
+	if s.table == nil {
+		return nil, fmt.Errorf("%w: not a coordinator", ErrNotFound)
+	}
+	if workerID == "" {
+		return nil, fmt.Errorf("%w: worker_id required", ErrBadRequest)
+	}
+	s.table.Touch(workerID, addr)
+	for {
+		var r *jobRecord
+		select {
+		case rec, ok := <-s.queue:
+			if !ok {
+				return nil, nil // draining and the buffer is dry
+			}
+			r = rec
+		default:
+			return nil, nil
+		}
+		if lj := s.grantLease(r, workerID); lj != nil {
+			return lj, nil
+		}
+		// The job left the queued state while buffered (cancelled);
+		// try the next one.
+	}
+}
+
+// grantLease moves one dequeued job to running under a fresh lease, wiring
+// the same per-job pipeline runJob builds (logger, invariant monitor,
+// progress sink) so relayed remote events flow through identical plumbing.
+// Returns nil if the job is no longer queued.
+func (s *Service) grantLease(r *jobRecord, workerID string) *LeasedJob {
+	lg := s.cfg.Logger.With("job_id", r.job.ID, "type", r.job.Type,
+		"trace_id", r.job.TraceID, "worker", workerID)
+	monitor := invariant.New(s.cfg.Invariants, func(v invariant.Violation) {
+		s.met.invariantViolation(v.Check)
+		s.journal.Append(journal.Entry{
+			JobID: r.job.ID, TraceID: r.job.TraceID,
+			Kind: journal.KindInvariant, Check: v.Check, Msg: v.Msg,
+			Stage: v.Event.Stage, Step: v.Event.Step, T: v.Event.T,
+			Value: v.Event.Value,
+		})
+		lg.Warn("invariant violation", "check", v.Check, "detail", v.Msg,
+			"stage", v.Event.Stage, "step", v.Event.Step, "t", v.Event.T)
+	})
+	sink := s.progressSink(r, monitor, lg)
+
+	s.mu.Lock()
+	if r.job.Status != StatusQueued { // cancelled while queued
+		s.mu.Unlock()
+		return nil
+	}
+	r.attempts++
+	attempt := r.attempts
+	lease := s.table.Grant(r.job.ID, workerID, attempt)
+	start := time.Now()
+	r.job.Status = StatusRunning
+	r.job.StartedAt = &start
+	r.job.Worker = workerID
+	r.monitor = monitor
+	r.sink = sink
+	s.walStarted(r.job.ID)
+	s.walAttempt(r.job.ID, attempt)
+	s.mu.Unlock()
+
+	s.met.queueWait.Observe(start.Sub(r.job.SubmittedAt).Seconds())
+	s.met.running.Inc()
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLease,
+		Msg: fmt.Sprintf("lease granted to worker %q (attempt %d/%d)",
+			workerID, attempt, s.cfg.Cluster.MaxAttempts),
+	})
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLifecycle, Msg: "started",
+	})
+	lg.Info("job leased", "attempt", attempt,
+		"lease_ttl", s.table.TTL().String(),
+		"queue_wait_ms", float64(start.Sub(r.job.SubmittedAt))/float64(time.Millisecond))
+	return &LeasedJob{
+		JobID:       r.job.ID,
+		TraceID:     r.job.TraceID,
+		Request:     r.req,
+		Scenario:    scenarioTable(r.sc),
+		TimeoutMS:   r.timeout.Milliseconds(),
+		LeaseToken:  lease.Token,
+		LeaseTTLMS:  s.table.TTL().Milliseconds(),
+		Attempt:     attempt,
+		MaxAttempts: s.cfg.Cluster.MaxAttempts,
+	}
+}
+
+// ExtendLease validates the token, pushes the lease deadline out, and
+// relays the carried progress events through the job's sink — so SSE
+// streams, GET /v1/jobs/{id} progress, invariant monitoring and metrics
+// all keep working for a remotely-executing job.
+func (s *Service) ExtendLease(id, token string, events []ProgressEvent) (HeartbeatAck, error) {
+	if s.table == nil {
+		return HeartbeatAck{}, fmt.Errorf("%w: not a coordinator", ErrNotFound)
+	}
+	s.mu.Lock()
+	r, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return HeartbeatAck{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	lease, err := s.table.Extend(id, token)
+	if err != nil {
+		s.mu.Unlock()
+		return HeartbeatAck{}, fmt.Errorf("%w: %v", ErrStaleLease, err)
+	}
+	sink := r.sink
+	cancelled := r.userCancelled
+	s.mu.Unlock()
+
+	for _, ev := range events {
+		sink(ev.toObs())
+	}
+	return HeartbeatAck{
+		LeaseTTLMS: s.table.TTL().Milliseconds(),
+		Cancel:     lease.Cancel || cancelled,
+	}, nil
+}
+
+// CompleteLease finalizes a remotely-executed job from its result upload.
+// The fenced release comes first — a stale token cannot finish a job — and
+// a succeeded job's blob and terminal WAL record land on disk before the
+// terminal status publishes, exactly runJob's ordering.
+func (s *Service) CompleteLease(id string, res ResultRequest) (Job, error) {
+	if s.table == nil {
+		return Job{}, fmt.Errorf("%w: not a coordinator", ErrNotFound)
+	}
+	st := Status(res.Status)
+	if !st.Terminal() || !validStatus(st) {
+		return Job{}, fmt.Errorf("%w: status %q is not terminal (want succeeded, failed or cancelled)", ErrBadRequest, res.Status)
+	}
+	if st == StatusSucceeded && !json.Valid(res.Result) {
+		return Job{}, fmt.Errorf("%w: succeeded upload must carry a JSON result", ErrBadRequest)
+	}
+
+	s.mu.Lock()
+	r, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	lease, err := s.table.Release(id, res.LeaseToken)
+	if err != nil {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: %v", ErrStaleLease, err)
+	}
+	sink := r.sink
+	monitor := r.monitor
+	started := r.job.StartedAt
+	s.mu.Unlock()
+
+	// The lease is released: the reaper can no longer requeue this job and
+	// no other worker can claim it, so finalization below is single-writer.
+	for _, ev := range res.Events {
+		sink(ev.toObs())
+	}
+	if st == StatusSucceeded {
+		// Theorem 5 consistency of the finished trajectory, as in runJob.
+		if r.req.Type == JobODE && monitor != nil {
+			var odeRes ODEResult
+			if json.Unmarshal(res.Result, &odeRes) == nil {
+				monitor.CheckOutcome(odeRes.R0, odeRes.FinalI)
+			}
+		}
+		// Durability before visibility: blob + terminal record land while
+		// the job still reads as running.
+		s.storePutResult(r.key, res.Result)
+		s.walFinished(id, StatusSucceeded)
+	}
+
+	s.mu.Lock()
+	fin := time.Now()
+	from := r.job.SubmittedAt
+	if started != nil {
+		from = *started
+	}
+	elapsed := fin.Sub(from)
+	r.job.FinishedAt = &fin
+	r.job.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	r.job.Status = st
+	switch st {
+	case StatusSucceeded:
+		r.job.Result = res.Result
+		if evicted := s.cache.put(r.key, res.Result); len(evicted) > 0 {
+			s.met.cacheEvictions.Add(int64(len(evicted)))
+			s.trimEvictedLocked(evicted)
+		}
+		s.keyJobs[r.key] = append(s.keyJobs[r.key], r.job.ID)
+	default:
+		r.job.Error = res.Error
+		s.walFinished(id, st)
+	}
+	job := r.snapshot()
+	s.mu.Unlock()
+
+	s.met.running.Dec()
+	s.met.outcome(st)
+	s.met.observe(r.job.Type, elapsed)
+	s.met.workerLatency(lease.Worker, elapsed)
+	msg := "finished: " + string(st)
+	if res.Error != "" {
+		msg += ": " + res.Error
+	}
+	s.journal.Append(journal.Entry{
+		JobID: id, TraceID: job.TraceID,
+		Kind: journal.KindLifecycle, Msg: msg, Final: true,
+	})
+	r.endSpans(st)
+	lg := s.cfg.Logger.With("job_id", id, "worker", lease.Worker)
+	if st == StatusSucceeded {
+		lg.Info("remote job finished", "status", st,
+			"elapsed_ms", job.ElapsedMS, "attempt", lease.Attempt)
+	} else {
+		lg.Warn("remote job finished", "status", st,
+			"elapsed_ms", job.ElapsedMS, "attempt", lease.Attempt, "error", res.Error)
+	}
+	return job, nil
+}
+
+// reaper periodically requeues (or terminally fails) jobs whose lease
+// expired. It runs for the service's whole life — draining does not stop
+// it, Close does.
+func (s *Service) reaper(interval time.Duration) {
+	defer s.reaperWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.reapExpired()
+		}
+	}
+}
+
+// reapExpired pops every expired lease and settles its job: requeue under
+// the attempt budget, terminal failure beyond it (or terminal cancellation
+// if the user already asked). Popping the lease invalidates its token, so
+// the presumed-dead worker's late heartbeat or upload bounces off
+// ErrStaleLease.
+func (s *Service) reapExpired() {
+	for _, lease := range s.table.Expired() {
+		s.met.leaseExpirations.Inc()
+		s.met.running.Dec()
+
+		s.mu.Lock()
+		r, ok := s.jobs[lease.JobID]
+		if !ok || r.job.Status != StatusRunning {
+			s.mu.Unlock()
+			continue
+		}
+		switch {
+		case r.userCancelled:
+			s.finishReapedLocked(r, StatusCancelled, fmt.Sprintf(
+				"cancelled by client; lease expired on worker %q", lease.Worker))
+		case r.attempts >= s.cfg.Cluster.MaxAttempts:
+			s.finishReapedLocked(r, StatusFailed, fmt.Sprintf(
+				"lease expired on worker %q and the attempt budget is exhausted (%d/%d)",
+				lease.Worker, r.attempts, s.cfg.Cluster.MaxAttempts))
+		case s.draining:
+			// The queue channel is closed; pushing would panic. Leave the
+			// job running-without-a-lease: it has no terminal WAL record,
+			// so the next process life re-enqueues it — crash semantics,
+			// which is what a drain racing a worker death is.
+			s.mu.Unlock()
+			s.cfg.Logger.Warn("lease expired while draining; job deferred to restart",
+				"job_id", lease.JobID, "worker", lease.Worker)
+		default:
+			r.job.Status = StatusQueued
+			r.job.StartedAt = nil
+			r.job.Worker = ""
+			attempts := r.attempts // read before unlock: the next grant increments it
+			select {
+			case s.queue <- r:
+				s.mu.Unlock()
+				s.met.requeues.Inc()
+				s.journal.Append(journal.Entry{
+					JobID: lease.JobID, TraceID: r.job.TraceID,
+					Kind: journal.KindLease,
+					Msg: fmt.Sprintf("lease expired on worker %q; requeued (attempt %d/%d used)",
+						lease.Worker, attempts, s.cfg.Cluster.MaxAttempts),
+				})
+				s.cfg.Logger.Warn("lease expired; job requeued",
+					"job_id", lease.JobID, "worker", lease.Worker,
+					"attempt", attempts, "max_attempts", s.cfg.Cluster.MaxAttempts)
+			default:
+				s.finishReapedLocked(r, StatusFailed, fmt.Sprintf(
+					"lease expired on worker %q and the queue is full", lease.Worker))
+			}
+		}
+	}
+}
+
+// finishReapedLocked terminally settles a job the reaper could not requeue.
+// Callers hold s.mu; it unlocks.
+func (s *Service) finishReapedLocked(r *jobRecord, st Status, reason string) {
+	fin := time.Now()
+	s.walFinished(r.job.ID, st)
+	r.job.Status = st
+	r.job.Error = reason
+	r.job.FinishedAt = &fin
+	r.job.Worker = ""
+	s.mu.Unlock()
+
+	s.met.outcome(st)
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLease, Msg: "lease expired: " + reason,
+	})
+	s.journal.Append(journal.Entry{
+		JobID: r.job.ID, TraceID: r.job.TraceID,
+		Kind: journal.KindLifecycle, Msg: "finished: " + string(st) + ": " + reason,
+		Final: true,
+	})
+	r.endSpans(st)
+	s.cfg.Logger.Warn("reaped job finished", "job_id", r.job.ID,
+		"status", st, "error", reason)
+}
+
+// clusterRoutes mounts the internal worker API (coordinator mode only).
+func (s *Service) clusterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/internal/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/internal/jobs/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/internal/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/internal/workers/{id}/deregister", func(w http.ResponseWriter, r *http.Request) {
+		s.DeregisterWorker(r.PathValue("id"))
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+func (s *Service) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	lj, err := s.LeaseNext(req.WorkerID, req.Addr)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	if lj == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lj)
+}
+
+func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ack, err := s.ExtendLease(r.PathValue("id"), req.LeaseToken, req.Events)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.CompleteLease(r.PathValue("id"), req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}

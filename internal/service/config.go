@@ -82,6 +82,10 @@ type Config struct {
 	// Logger and the Hooks are always overridden to feed the service's
 	// metrics registry.
 	StoreOptions store.Options
+	// Cluster, when Enabled, runs the service as a coordinator: no local
+	// worker pool, jobs execute on remote worker nodes under fenced leases
+	// (see cluster.go and DESIGN.md §12).
+	Cluster ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +132,7 @@ func (c Config) withDefaults() Config {
 	if c.SSEHeartbeat <= 0 {
 		c.SSEHeartbeat = 15 * time.Second
 	}
+	c.Cluster = c.Cluster.withDefaults()
 	return c
 }
 

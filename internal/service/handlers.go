@@ -45,6 +45,14 @@ func (s *Service) Handler() http.Handler {
 			writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 			return
 		}
+		if reason := s.Degraded(); reason != "" {
+			// A coordinator with queued work and no live workers must not
+			// receive more submit traffic: report degraded so load
+			// balancers route elsewhere until a worker appears.
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"status": "degraded", "reason": reason})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -62,6 +70,13 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, sc)
 	})
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		ws := s.Workers()
+		writeJSON(w, http.StatusOK, map[string]any{"workers": ws, "count": len(ws)})
+	})
+	if s.table != nil {
+		s.clusterRoutes(mux)
+	}
 	mux.HandleFunc("GET /v1/jobs", s.handleJobIndex)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -253,7 +268,7 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, errDuplicate):
+	case errors.Is(err, errDuplicate), errors.Is(err, ErrStaleLease):
 		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "1")

@@ -250,8 +250,11 @@ type Job struct {
 	// TraceID is the W3C trace the job belongs to: the client's traceparent
 	// trace when the submission carried one, else a server-generated one.
 	// Grep the logs or the journal for it to correlate across layers.
-	TraceID     string          `json:"trace_id,omitempty"`
-	CacheHit    bool            `json:"cache_hit,omitempty"`
+	TraceID  string `json:"trace_id,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Worker is the cluster worker currently executing the job (coordinator
+	// mode only; cleared on requeue, retained on completion).
+	Worker      string          `json:"worker,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at"`

@@ -57,6 +57,15 @@ func (s *Service) walFinished(id string, status Status) {
 	s.walErrored("finished", id, s.store.AppendFinished(id, string(status)))
 }
 
+// walAttempt logs a job's cumulative lease-grant count so the poison-job
+// attempt budget survives a coordinator restart. Callers hold s.mu.
+func (s *Service) walAttempt(id string, attempt int) {
+	if s.store == nil {
+		return
+	}
+	s.walErrored("attempt", id, s.store.AppendAttempt(id, attempt))
+}
+
 // storePutResult persists a succeeded job's result blob. Callers hold s.mu.
 func (s *Service) storePutResult(key string, raw json.RawMessage) {
 	if s.store == nil {
@@ -168,12 +177,13 @@ func (s *Service) requeueRecovered(js store.JobState) Status {
 			TraceID:     span.Context().TraceID.String(),
 			SubmittedAt: submitted,
 		},
-		req:     req,
-		sc:      sc,
-		key:     key,
-		seq:     js.Seq,
-		timeout: timeout,
-		span:    span,
+		req:      req,
+		sc:       sc,
+		key:      key,
+		seq:      js.Seq,
+		timeout:  timeout,
+		span:     span,
+		attempts: js.Attempts,
 	}
 
 	if reason == "" {

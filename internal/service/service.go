@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rumornet/internal/cluster"
 	"rumornet/internal/degreedist"
 	"rumornet/internal/digg"
 	"rumornet/internal/obs"
@@ -59,8 +60,13 @@ type jobRecord struct {
 	seq     uint64
 	timeout time.Duration
 
-	cancel        context.CancelFunc // non-nil while running
+	cancel        context.CancelFunc // non-nil while running locally; nil for leased jobs
 	userCancelled bool
+
+	// attempts counts cluster lease grants (0 for standalone execution);
+	// the reaper terminally fails the job once it reaches
+	// Cluster.MaxAttempts. Recovery restores it from the WAL.
+	attempts int
 
 	// prog is the latest solver checkpoint, written by the executing
 	// worker's progress sink and read by snapshots without taking
@@ -96,10 +102,19 @@ type Service struct {
 	// store is the durable WAL + result store (nil without Config.StoreDir).
 	// Set once in New before the workers start, never mutated after.
 	store *store.Store
+	// table is the cluster lease table + worker registry (nil unless
+	// Config.Cluster.Enabled). Set once in New, never mutated after. Lock
+	// order: Service.mu before table's internal mutex, and the table never
+	// calls back into the service.
+	table *cluster.Table
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+	// reaperWG tracks the lease reaper separately from the worker pool:
+	// Drain waits on wg only (the reaper must keep running while remote
+	// workers drain their leases); Close waits on both.
+	reaperWG sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*jobRecord
@@ -130,6 +145,9 @@ func New(cfg Config) (*Service, error) {
 		jobs:      make(map[string]*jobRecord),
 		keyJobs:   make(map[string][]string),
 		queue:     make(chan *jobRecord, cfg.QueueDepth),
+	}
+	if cfg.Cluster.Enabled {
+		s.table = cluster.New(cfg.Cluster.LeaseTTL, cfg.Cluster.WorkerLiveness, nil)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
@@ -173,12 +191,20 @@ func New(cfg Config) (*Service, error) {
 		s.recoverFromStore()
 	}
 
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if s.table != nil {
+		// Coordinator mode: no local workers, remote nodes lease the queue;
+		// the reaper recycles leases their owners stopped renewing.
+		s.reaperWG.Add(1)
+		go s.reaper(cfg.Cluster.ReapInterval)
+	} else {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	cfg.Logger.Info("service started",
-		"workers", cfg.Workers, "inner_workers", cfg.InnerWorkers,
+		"workers", cfg.Workers, "cluster", cfg.Cluster.Enabled,
+		"inner_workers", cfg.InnerWorkers,
 		"queue_depth", cfg.QueueDepth, "cache_entries", cfg.CacheEntries,
 		"store_dir", cfg.StoreDir)
 	return s, nil
@@ -511,7 +537,14 @@ func (s *Service) Cancel(id string) (Job, error) {
 		cancel := r.cancel
 		job := r.snapshot()
 		s.mu.Unlock()
-		cancel()
+		if cancel != nil {
+			cancel()
+		}
+		if s.table != nil {
+			// Leased jobs have no local cancel func; the flag rides back on
+			// the next heartbeat ack and the worker stops the job there.
+			s.table.RequestCancel(id)
+		}
 		s.cfg.Logger.Info("job cancellation requested", "job_id", id)
 		return job, nil
 	default:
@@ -543,6 +576,14 @@ func (s *Service) Stats() Stats {
 			WALErrors:        s.met.walErrors.Value(),
 		}
 	}
+	if s.table != nil {
+		st.Cluster = &ClusterStats{
+			Workers:          s.table.LiveWorkers(),
+			LeasesActive:     s.table.Active(),
+			LeaseExpirations: s.met.leaseExpirations.Value(),
+			Requeues:         s.met.requeues.Value(),
+		}
+	}
 	return st
 }
 
@@ -555,13 +596,28 @@ func (s *Service) Ready() bool {
 
 // Drain stops accepting submissions, lets queued and running jobs finish,
 // and returns once the workers exit (or ctx expires, in which case the
-// remaining jobs keep running and Close should follow).
+// remaining jobs keep running and Close should follow). On a coordinator
+// "running" means leased: drain additionally waits for remote workers to
+// drain the buffered queue and upload their in-flight results.
 func (s *Service) Drain(ctx context.Context) error {
 	s.cfg.Logger.Info("drain started")
 	s.stopIntake()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		if s.table != nil {
+			// Closing the queue did not stop remote leasing: a buffered
+			// receive on a closed channel still yields the remaining jobs,
+			// so workers keep claiming until the buffer is dry, and
+			// in-flight uploads keep landing. Poll both down to zero.
+			for len(s.queue) > 0 || s.table.Active() > 0 {
+				select {
+				case <-ctx.Done():
+					return // leave done open; the outer select reports the interrupt
+				case <-time.After(20 * time.Millisecond):
+				}
+			}
+		}
 		close(done)
 	}()
 	select {
@@ -581,6 +637,7 @@ func (s *Service) Close() {
 	s.stopIntake()
 	s.baseCancel()
 	s.wg.Wait()
+	s.reaperWG.Wait() // the reaper appends to the WAL; stop it before the store closes
 	if s.store != nil {
 		if err := s.store.Close(); err != nil {
 			s.cfg.Logger.Warn("store close failed", "error", err.Error())

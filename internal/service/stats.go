@@ -40,6 +40,10 @@ type Stats struct {
 	// Store reports the durable job store when the daemon runs with
 	// -data-dir; omitted for a fully in-memory service.
 	Store *StoreStats `json:"store,omitempty"`
+
+	// Cluster reports the lease table and worker registry on a coordinator;
+	// omitted in standalone mode.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // StoreStats extends the store's own snapshot with the service-level
@@ -112,6 +116,11 @@ type metrics struct {
 	diskHits         *obs.Counter
 	recoveredJobs    *obs.Counter
 	recoveredResults *obs.Counter
+
+	// Cluster instruments (registered unconditionally; all stay zero on a
+	// standalone service).
+	leaseExpirations *obs.Counter
+	requeues         *obs.Counter
 }
 
 // walBuckets span WAL append/fsync latencies: microsecond buffered writes
@@ -180,7 +189,20 @@ func newMetrics() *metrics {
 		"Unfinished jobs re-enqueued by startup recovery.")
 	m.recoveredResults = reg.Counter("rumor_store_recovered_results_total",
 		"Persisted results warmed into the memory cache by startup recovery.")
+	m.leaseExpirations = reg.Counter("rumor_cluster_lease_expirations_total",
+		"Cluster leases reaped after their TTL passed without a heartbeat.")
+	m.requeues = reg.Counter("rumor_cluster_requeues_total",
+		"Jobs returned to the queue after their lease expired.")
 	return m
+}
+
+// workerLatency records one remote job execution (lease grant to result
+// upload) against the per-worker histogram, created on the worker's first
+// completion (obs.Registry instruments are get-or-create by name+labels).
+func (m *metrics) workerLatency(worker string, elapsed time.Duration) {
+	m.reg.Histogram("rumor_cluster_worker_job_seconds",
+		"Remote job latency from lease grant to result upload, per worker.",
+		jobDurationBuckets, obs.L("worker", worker)).Observe(elapsed.Seconds())
 }
 
 // registerDerived adds the gauges whose values are read from live service
@@ -219,6 +241,14 @@ func (m *metrics) registerDerived(s *Service) {
 	m.reg.GaugeFunc("rumor_trace_spans_finished",
 		"Finished spans resident in the trace ring.",
 		func() float64 { return float64(len(s.tracer.Finished())) })
+	if s.table != nil {
+		m.reg.GaugeFunc("rumor_cluster_workers",
+			"Cluster workers seen within the liveness window.",
+			func() float64 { return float64(s.table.LiveWorkers()) })
+		m.reg.GaugeFunc("rumor_cluster_leases_active",
+			"Jobs currently leased to cluster workers.",
+			func() float64 { return float64(s.table.Active()) })
+	}
 	if s.store != nil {
 		m.reg.GaugeFunc("rumor_store_results",
 			"Result blobs resident in the durable store.",

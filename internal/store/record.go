@@ -35,6 +35,7 @@ const (
 	opSubmitted = "submitted"
 	opStarted   = "started"
 	opFinished  = "finished"
+	opAttempt   = "attempt"
 	opSnapshot  = "snapshot"
 )
 
@@ -51,6 +52,10 @@ type walRecord struct {
 	// Status is the terminal outcome of an opFinished record
 	// (succeeded/failed/cancelled).
 	Status string `json:"status,omitempty"`
+	// Attempt is the cumulative lease-grant count of an opAttempt record;
+	// recovery restores it so a poison job's budget survives a coordinator
+	// restart instead of resetting.
+	Attempt int `json:"attempt,omitempty"`
 	// Request, Key, TraceID and SubmittedAt describe an opSubmitted job.
 	Request     json.RawMessage `json:"request,omitempty"`
 	Key         string          `json:"key,omitempty"`
@@ -74,6 +79,10 @@ type JobState struct {
 	// Started reports whether the job had begun executing; recovery
 	// re-enqueues it either way (results are deterministic and idempotent).
 	Started bool `json:"started,omitempty"`
+	// Attempts is the lease-grant count a clustered coordinator recorded
+	// for the job (zero for standalone jobs). It rides snapshots so
+	// compaction preserves the poison-job budget.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // encodeRecord frames one record: header + JSON payload.

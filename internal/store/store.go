@@ -299,6 +299,13 @@ func (s *Store) AppendFinished(id, status string) error {
 	return s.appendRecord(walRecord{Op: opFinished, JobID: id, Status: status})
 }
 
+// AppendAttempt logs a job's cumulative lease-grant count. The clustered
+// coordinator writes one per lease so the poison-job attempt budget
+// survives a restart; recovery surfaces the count via JobState.Attempts.
+func (s *Store) AppendAttempt(id string, attempt int) error {
+	return s.appendRecord(walRecord{Op: opAttempt, JobID: id, Attempt: attempt})
+}
+
 // Compact forces a snapshot-and-drop compaction regardless of segment
 // count (rotation triggers it automatically at CompactSegments).
 func (s *Store) Compact() error {

@@ -126,6 +126,10 @@ func (s *Store) apply(rec walRecord) {
 		}
 	case opFinished:
 		s.dropPending(rec.JobID)
+	case opAttempt:
+		if js, ok := s.pending[rec.JobID]; ok {
+			js.Attempts = rec.Attempt
+		}
 	case opSnapshot:
 		s.pending = make(map[string]*JobState)
 		s.pendingOrder = s.pendingOrder[:0]

@@ -30,6 +30,19 @@
 #                                          WAL into pending state
 #       BenchmarkWALAppend, BenchmarkPutResult  raw store primitives
 #     the PR 5 claim is WAL-on throughput within 5% of WAL-off.
+#   pr7 — distributed-mode throughput (internal/cluster/worker):
+#       BenchmarkClusterODE/w{1,2,4}     saturated Digg2009 ODE workload,
+#                                        coordinator + N in-process worker
+#                                        nodes over real HTTP
+#       BenchmarkStandaloneODE/w{1,2,4}  the same workload on the in-process
+#                                        pool at the same widths
+#       Benchmark{Cluster,Standalone}Threshold  near-zero-compute pair whose
+#                                        ns_per_op difference is the per-job
+#                                        coordinator overhead (lease +
+#                                        heartbeat + result round trips)
+#     jobs/sec = 1e9 / ns_per_op; the PR 7 claim is that ODE throughput
+#     scales with worker count while the per-job overhead stays small
+#     against solver-bound jobs.
 #   pr6 — solver hot-loop kernels and multi-core scaling:
 #       internal/core: BenchmarkTheta, BenchmarkRHSDiggScale   fused-Θ RHS
 #       internal/ode:  BenchmarkStepCost/{heun,rk4},           zero-alloc
@@ -54,6 +67,7 @@
 #   scripts/bench.sh pr4             # pr4 -> BENCH_PR4.json
 #   scripts/bench.sh pr5             # pr5 -> BENCH_PR5.json
 #   scripts/bench.sh pr6             # pr6 -> BENCH_PR6.json
+#   scripts/bench.sh pr7             # pr7 -> BENCH_PR7.json
 #   scripts/bench.sh pr2 out.json    # explicit output path
 set -eu
 
@@ -110,8 +124,14 @@ pr6)
 	go test -run '^$' -bench 'BenchmarkABMQuenchedStep|BenchmarkMeanRun' \
 		-benchmem -cpu 1,4,8 ./internal/abm | tee -a "$tmp"
 	;;
+pr7)
+	out="${2:-BENCH_PR7.json}"
+	note="ClusterODE/wN runs the saturated Digg2009 ODE workload through a coordinator with N in-process worker nodes over real HTTP, StandaloneODE/wN the identical workload on the in-process pool; jobs/sec = 1e9 / ns_per_op and throughput should scale with N (needs real cores). The Threshold pair's ns_per_op difference is the measured per-job coordinator overhead: lease poll + heartbeat + result upload round trips"
+	go test -run '^$' -bench 'Benchmark(Cluster|Standalone)ODE/|Benchmark(Cluster|Standalone)Threshold$' \
+		-benchmem ./internal/cluster/worker | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3, pr4, pr5 or pr6)" >&2
+	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3, pr4, pr5, pr6 or pr7)" >&2
 	exit 2
 	;;
 esac

@@ -8,9 +8,13 @@
 # internal/experiments), the rumord service stack (internal/service job
 # queue, result cache, concurrent E2E suite — including the SSE streaming
 # tests, which exercise journal fan-out, live subscribers and mid-stream
-# cancellation under the detector) and the durable store (internal/store:
+# cancellation under the detector), the durable store (internal/store:
 # WAL appends racing the batched-fsync flusher, concurrent blob Put/Get/GC,
-# and the service's crash-recovery E2E) must stay data-race free; -race
+# and the service's crash-recovery E2E) and the cluster layer (internal/
+# cluster's lease table under concurrent grant/extend/expire, plus the
+# coordinator/worker crash matrix in internal/cluster/worker — worker
+# kill mid-job, coordinator restart with leased jobs, poison-job
+# exhaustion, both drain directions) must stay data-race free; -race
 # roughly 10x-es the runtime, so it is a separate gate. Tier 2 also runs
 # every benchmark for exactly one iteration — benchmarks bit-rot silently
 # otherwise (the bench.sh suites only exercise their own subset). Usage:
