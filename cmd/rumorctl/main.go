@@ -9,6 +9,7 @@
 //	rumorctl events [-addr URL] [-follow] <job-id>
 //	rumorctl jobs [-addr URL] [-limit N] [-status S]
 //	rumorctl workers [-addr URL]
+//	rumorctl top [-addr URL] [-watch INTERVAL]
 //
 // Examples:
 //
@@ -18,14 +19,19 @@
 //	rumorctl events -addr http://localhost:8080 -follow j-000001
 //	rumorctl jobs -status failed -limit 20
 //	rumorctl workers -addr http://localhost:8080
+//	rumorctl top -addr http://localhost:8080 -watch 2s
 //
 // The events subcommand tails a rumord job's flight recorder: it replays
 // the recorded lifecycle, solver-checkpoint and invariant-violation
 // entries and, with -follow, streams new ones live over SSE until the job
-// finishes. The jobs subcommand lists the daemon's retained jobs newest
-// first, optionally filtered by status. The workers subcommand lists the
-// worker nodes registered with a clustered coordinator, with lease counts
-// and liveness.
+// finishes — against a clustered coordinator the stream transparently
+// includes the entries the executing worker relayed back. The jobs
+// subcommand lists the daemon's retained jobs newest first, optionally
+// filtered by status. The workers subcommand lists the worker nodes
+// registered with a clustered coordinator — lease counts, liveness, and
+// each node's relayed telemetry (current stage, invariant violations, heap,
+// uptime). The top subcommand aggregates the same registry into a fleet
+// dashboard, redrawn every -watch interval like top(1).
 package main
 
 import (
@@ -87,8 +93,10 @@ func run(args []string) error {
 			return runJobs(args[1:], os.Stdout)
 		case "workers":
 			return runWorkers(args[1:], os.Stdout)
+		case "top":
+			return runTop(args[1:], os.Stdout)
 		default:
-			return cli.Usagef("unknown subcommand %q (supported: events, jobs, workers)", args[0])
+			return cli.Usagef("unknown subcommand %q (supported: events, jobs, workers, top)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("rumorctl", flag.ContinueOnError)

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rumornet/internal/cli"
+)
+
+// cannedTelemetryRegistry serves a /v1/workers page where one worker
+// reports telemetry and one has not heartbeated a sample yet.
+func cannedTelemetryRegistry(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		now := time.Now().UTC().Format(time.RFC3339Nano)
+		fmt.Fprintf(w, `{"workers":[
+			{"id":"w-alpha","addr":"10.0.0.5:0","live":true,"leases_held":1,"jobs_completed":42,
+			 "last_seen":%q,"oldest_lease_age_ms":1234.5,
+			 "telemetry":{"stage":"abm","invariant_violations":3,"jobs_executed":45,
+			              "goroutines":17,"gomaxprocs":4,"heap_alloc_bytes":5242880,
+			              "gc_pause_seconds_total":0.01,"uptime_seconds":90}},
+			{"id":"w-beta","live":false,"leases_held":0,"jobs_completed":7,"last_seen":%q}
+		],"count":2}`, now, now)
+	}))
+}
+
+// TestWorkersTelemetryColumns checks the extended workers table renders the
+// relayed sample, and dashes for a worker that has not reported one.
+func TestWorkersTelemetryColumns(t *testing.T) {
+	ts := cannedTelemetryRegistry(t)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := runWorkers([]string{"-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("runWorkers: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"STAGE", "INV", "HEAP", "UPTIME", "LEASE AGE", // the new columns
+		"abm", "3", "17", "5.0MiB", "1m30s", "1.2s", // w-alpha's sample
+		"w-beta", "-", // no sample yet: dashes
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTopSubcommand(t *testing.T) {
+	ts := cannedTelemetryRegistry(t)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := runTop([]string{"-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("runTop: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fleet: 2 workers (1 live)",
+		"leases 1",
+		"completed 49",
+		"invariant violations 3",
+		"(1/2 reporting)",
+		"w-alpha", "w-beta", // the per-worker table follows
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "\033[") {
+		t.Errorf("one-shot run emitted terminal control sequences:\n%s", got)
+	}
+}
+
+func TestTopFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"extra"},
+		{"-nope"},
+		{"-watch", "-1s"},
+	} {
+		if err := runTop(args, &strings.Builder{}); cli.Code(err) != 2 {
+			t.Errorf("runTop(%v): err %v, want usage error", args, err)
+		}
+	}
+}

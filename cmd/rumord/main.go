@@ -79,6 +79,7 @@ import (
 
 	"rumornet/internal/cli"
 	"rumornet/internal/cluster/worker"
+	"rumornet/internal/obs"
 	"rumornet/internal/service"
 	"rumornet/internal/store"
 )
@@ -188,13 +189,34 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		return cli.Usagef("-poll-max = %s must be at least -poll-min = %s", *pollMax, *pollMin)
 	}
 
-	// A worker node is a client, not a server: no listener, no store, no
-	// queue. It loops leasing jobs from the coordinator until ctx cancels,
-	// then finishes its current job, deregisters and exits.
+	// A worker node is a client, not a server: no API listener, no store,
+	// no queue. It loops leasing jobs from the coordinator until ctx
+	// cancels, then finishes its current job, deregisters and exits. Its
+	// registry (solver histograms, runtime gauges) is relayed to the
+	// coordinator on heartbeats; -debug-addr additionally serves the same
+	// registry and pprof locally for on-node debugging.
 	if *mode == "worker" {
 		inner := *innerWorkers
 		if inner == 0 {
 			inner = runtime.NumCPU()
+		}
+		reg := obs.NewRegistry()
+		if *debugAddr != "" {
+			dln, err := net.Listen("tcp", *debugAddr)
+			if err != nil {
+				return fmt.Errorf("debug listen: %w", err)
+			}
+			dmux := http.NewServeMux()
+			dmux.HandleFunc("/debug/pprof/", pprof.Index)
+			dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			dmux.Handle("/metrics", obs.Handler(reg))
+			dsrv := &http.Server{Handler: dmux}
+			defer dsrv.Close()
+			fmt.Fprintf(out, "rumord: debug listener on %s (pprof + metrics)\n", dln.Addr())
+			go dsrv.Serve(dln)
 		}
 		fmt.Fprintf(out, "rumord: worker polling %s (inner-workers %d)\n", *coordinator, inner)
 		if ready != nil {
@@ -208,6 +230,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 			PollMax:      *pollMax,
 			Heartbeat:    *heartbeat,
 			Logger:       lg,
+			Registry:     reg,
 		})
 		if err == nil {
 			fmt.Fprintln(out, "rumord: bye")

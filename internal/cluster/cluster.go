@@ -51,6 +51,29 @@ type Lease struct {
 	Cancel bool
 }
 
+// Telemetry is the self-reported health snapshot a worker piggybacks on
+// heartbeats and result uploads: what it is doing right now plus a few Go
+// runtime vitals. The coordinator stores the latest sample per worker and
+// serves it on GET /v1/workers; rumorctl workers/top render it.
+type Telemetry struct {
+	// Stage is the most recent solver stage the worker reported
+	// (warmup/sweep/ode/fbsm/...), empty when idle.
+	Stage string `json:"stage,omitempty"`
+	// InvariantViolations counts invariant-monitor trips on the worker
+	// since it started, across all jobs it executed.
+	InvariantViolations int64 `json:"invariant_violations"`
+	// JobsExecuted counts jobs the worker ran to a terminal status,
+	// whether or not the upload was accepted.
+	JobsExecuted int64 `json:"jobs_executed"`
+	// Go runtime vitals, sampled at send time.
+	Goroutines          int     `json:"goroutines"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	GCPauseSecondsTotal float64 `json:"gc_pause_seconds_total"`
+	// UptimeSeconds is how long the worker process has been running.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 // WorkerInfo is the registry's view of one worker node, served by
 // GET /v1/workers.
 type WorkerInfo struct {
@@ -62,12 +85,22 @@ type WorkerInfo struct {
 	// JobsCompleted counts result uploads accepted from this worker.
 	JobsCompleted int64     `json:"jobs_completed"`
 	LastSeen      time.Time `json:"last_seen"`
+	// OldestLeaseAgeMS is how long ago the oldest lease this worker still
+	// holds was granted or last extended, in milliseconds — a growing value
+	// against a short heartbeat interval means the worker stopped
+	// heartbeating and the lease is drifting toward expiry. Zero when the
+	// worker holds no leases.
+	OldestLeaseAgeMS float64 `json:"oldest_lease_age_ms,omitempty"`
+	// Telemetry is the last self-reported sample, nil until the worker's
+	// first heartbeat or result upload carries one.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 type workerState struct {
 	addr      string
 	lastSeen  time.Time
 	completed int64
+	tel       *Telemetry
 }
 
 // Table is the lease table plus worker registry. All methods are safe for
@@ -239,6 +272,17 @@ func (t *Table) Leased(jobID string) (Lease, bool) {
 	return *l, true
 }
 
+// SetTelemetry stores the latest self-reported sample for workerID,
+// registering the worker on first contact (heartbeats can race the first
+// lease poll through a proxy).
+func (t *Table) SetTelemetry(workerID string, tel Telemetry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.touchLocked(workerID, "")
+	cp := tel
+	w.tel = &cp
+}
+
 // Deregister removes a worker from the registry (the SIGTERM-drain
 // goodbye). Leases it still holds are untouched — they expire normally,
 // which is the safe default if a "draining" worker in fact died mid-job.
@@ -268,19 +312,31 @@ func (t *Table) Workers() []WorkerInfo {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	held := make(map[string]int, len(t.workers))
+	oldest := make(map[string]time.Duration, len(t.workers))
 	for _, l := range t.leases {
 		held[l.Worker]++
+		// Deadline was set to (grant-or-extend time + ttl), so the time
+		// since the lease was last refreshed is now − (deadline − ttl).
+		if age := now.Sub(l.Deadline.Add(-t.ttl)); age > oldest[l.Worker] {
+			oldest[l.Worker] = age
+		}
 	}
 	out := make([]WorkerInfo, 0, len(t.workers))
 	for id, w := range t.workers {
-		out = append(out, WorkerInfo{
-			ID:            id,
-			Addr:          w.addr,
-			Live:          now.Sub(w.lastSeen) <= t.liveness,
-			LeasesHeld:    held[id],
-			JobsCompleted: w.completed,
-			LastSeen:      w.lastSeen,
-		})
+		info := WorkerInfo{
+			ID:               id,
+			Addr:             w.addr,
+			Live:             now.Sub(w.lastSeen) <= t.liveness,
+			LeasesHeld:       held[id],
+			JobsCompleted:    w.completed,
+			LastSeen:         w.lastSeen,
+			OldestLeaseAgeMS: float64(oldest[id]) / float64(time.Millisecond),
+		}
+		if w.tel != nil {
+			cp := *w.tel
+			info.Telemetry = &cp
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

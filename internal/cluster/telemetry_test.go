@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSetTelemetryAndLeaseAge covers the registry's telemetry columns: the
+// sample a worker relays shows up (copied, not aliased) on Workers(), the
+// oldest-lease age tracks grant/extend time, and deregistration drops both.
+func TestSetTelemetryAndLeaseAge(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	tbl := New(10*time.Second, time.Minute, clock)
+
+	tbl.Touch("w-1", "host:1")
+	tel := Telemetry{Stage: "ode", JobsExecuted: 3, Goroutines: 12, HeapAllocBytes: 1 << 20}
+	tbl.SetTelemetry("w-1", tel)
+	tel.Stage = "mutated-after-store" // the table must have copied
+
+	ws := tbl.Workers()
+	if len(ws) != 1 || ws[0].Telemetry == nil {
+		t.Fatalf("Workers = %+v, want one worker with telemetry", ws)
+	}
+	if got := ws[0].Telemetry; got.Stage != "ode" || got.JobsExecuted != 3 {
+		t.Errorf("telemetry = %+v, want the stored sample unmutated", got)
+	}
+	// The returned sample is itself a copy: mutating it must not leak back.
+	ws[0].Telemetry.Stage = "scribbled"
+	if got := tbl.Workers()[0].Telemetry.Stage; got != "ode" {
+		t.Errorf("Workers leaked a live telemetry pointer (stage %q)", got)
+	}
+
+	// No leases: no age reported.
+	if age := ws[0].OldestLeaseAgeMS; age != 0 {
+		t.Errorf("lease age with no leases = %g, want 0", age)
+	}
+
+	// Grant two leases at different times; the age reflects the older one.
+	tbl.Grant("j-1", "w-1", 1)
+	now = now.Add(2 * time.Second)
+	tbl.Grant("j-2", "w-1", 1)
+	now = now.Add(1 * time.Second)
+	if age := tbl.Workers()[0].OldestLeaseAgeMS; age != 3000 {
+		t.Errorf("oldest lease age = %gms, want 3000", age)
+	}
+
+	// Extending the older lease resets its age; the other becomes oldest.
+	lease, _ := tbl.Leased("j-1")
+	if _, err := tbl.Extend("j-1", lease.Token); err != nil {
+		t.Fatal(err)
+	}
+	if age := tbl.Workers()[0].OldestLeaseAgeMS; age != 1000 {
+		t.Errorf("oldest lease age after extend = %gms, want 1000", age)
+	}
+
+	// Telemetry for an unknown worker registers it (touch semantics), and
+	// deregistration forgets the sample with the worker.
+	tbl.SetTelemetry("w-2", Telemetry{Stage: "abm"})
+	if ws := tbl.Workers(); len(ws) != 2 {
+		t.Fatalf("Workers after sample from new node = %d entries, want 2", len(ws))
+	}
+	tbl.Deregister("w-2")
+	for _, w := range tbl.Workers() {
+		if w.ID == "w-2" {
+			t.Errorf("deregistered worker still listed: %+v", w)
+		}
+	}
+}

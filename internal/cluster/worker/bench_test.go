@@ -138,3 +138,50 @@ func BenchmarkClusterThreshold(b *testing.B) {
 func BenchmarkStandaloneThreshold(b *testing.B) {
 	benchThroughput(b, startStandalone(b, 1), thresholdReq)
 }
+
+// The BENCH_PR8 pair: the same near-zero-compute workload through one
+// worker node with the telemetry relay on (default) vs off. The heartbeat
+// is forced fast so relay payloads actually ride heartbeats mid-job, not
+// just the result upload; both arms pay the same HTTP round trips, so the
+// ns_per_op difference is the relay serialization itself — journal entries,
+// finished spans and the health sample per send, plus the registry
+// snapshot on its 250ms throttle window. The PR 8 claim is < 5% overhead.
+func startClusterRelay(b *testing.B, disable bool) *service.Service {
+	b.Helper()
+	svc, err := service.New(service.Config{
+		QueueDepth: 64,
+		Cluster:    service.ClusterConfig{Enabled: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		worker.Run(ctx, worker.Options{
+			Coordinator:      ts.URL,
+			ID:               "bw-relay",
+			PollMin:          time.Millisecond,
+			PollMax:          5 * time.Millisecond,
+			Heartbeat:        2 * time.Millisecond,
+			DisableTelemetry: disable,
+		})
+	}()
+	b.Cleanup(func() {
+		cancel()
+		<-done
+		ts.Close()
+		svc.Close()
+	})
+	return svc
+}
+
+func BenchmarkClusterThresholdRelayOn(b *testing.B) {
+	benchThroughput(b, startClusterRelay(b, false), thresholdReq)
+}
+
+func BenchmarkClusterThresholdRelayOff(b *testing.B) {
+	benchThroughput(b, startClusterRelay(b, true), thresholdReq)
+}

@@ -404,8 +404,8 @@ func TestCoordinatorRestartWithLeasedJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The built-in scenario, not an uploaded one: uploads live in memory, so
-	// only jobs on resident scenarios survive a recovery re-enqueue.
+	// The built-in scenario; uploaded tables survive restarts too via their
+	// own WAL records (TestScenarioWALReplay covers that path).
 	job, err := svc1.Submit(service.Request{Type: service.JobThreshold,
 		Params: service.Params{Lambda0: 0.02}})
 	if err != nil {

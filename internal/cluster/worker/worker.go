@@ -5,6 +5,14 @@
 // durable state — the coordinator owns the queue, the WAL and the result
 // store — so killing one loses at most the work of its current lease, which
 // the coordinator's reaper requeues after the lease TTL.
+//
+// Each node is also a telemetry source (DESIGN.md §13): it keeps its own
+// metric registry (solver histograms, job counters, Go runtime gauges),
+// times per-stage trace spans parented under the coordinator's job span,
+// and journals worker-local lifecycle events — all piggybacked on the
+// requests it already makes (heartbeats, result uploads, and between jobs
+// the lease poll), so observability costs no extra round trips and needs
+// no listening port on the worker.
 package worker
 
 import (
@@ -18,10 +26,16 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"rumornet/internal/cluster"
 	"rumornet/internal/obs"
+	"rumornet/internal/obs/invariant"
+	"rumornet/internal/obs/journal"
+	"rumornet/internal/obs/trace"
 	"rumornet/internal/service"
 )
 
@@ -50,6 +64,16 @@ type Options struct {
 	Client *http.Client
 	// Logger receives the worker's structured records (nil discards).
 	Logger *slog.Logger
+	// Registry is the worker's metric registry (default: a fresh one).
+	// rumord's worker mode passes its own so -debug-addr can expose the
+	// same instruments locally that the coordinator re-exports remotely.
+	Registry *obs.Registry
+	// DisableTelemetry strips the relay payload — journal entries, spans,
+	// registry snapshots and health samples — from heartbeats and result
+	// uploads, leaving only the lease protocol and progress events. The
+	// overhead benchmarks use it as the baseline arm; operators can use it
+	// on pathologically slow links.
+	DisableTelemetry bool
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +102,9 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = obs.NopLogger()
 	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
 	return o
 }
 
@@ -86,6 +113,111 @@ func (o Options) withDefaults() Options {
 // a ring anyway), so beyond the cap the oldest buffered events are dropped
 // and counted.
 const eventBufferCap = 512
+
+// jobSpanRingCap bounds the per-job span ring. A job finishes a handful of
+// stage spans; the headroom absorbs pathological stage churn without the
+// incremental-upload cursor ever seeing an overwrite.
+const jobSpanRingCap = 64
+
+// snapshotEvery throttles the registry-snapshot relay. The snapshot is by
+// far the largest telemetry payload (every family, marshaled worker-side
+// and re-decoded by the coordinator), and it carries absolute values — so
+// resending an unchanged-for-milliseconds copy on every 2ms heartbeat buys
+// no freshness a Prometheus scrape could observe. At most one snapshot per
+// window rides whichever send fires first (heartbeat, result upload, or
+// lease poll — the poll is what lets a worker that just went idle flush
+// its final counters). The fixed-size health sample is exempt: it rides
+// every heartbeat and result, so /v1/workers stays live.
+const snapshotEvery = 250 * time.Millisecond
+
+// node is the per-process telemetry state shared by every job the worker
+// runs: the metric registry relayed in snapshots, the counters behind the
+// health sample, and the cached MemStats read (heartbeats can tick every
+// few milliseconds in tests; ReadMemStats must not run per tick).
+type node struct {
+	opts    Options
+	reg     *obs.Registry
+	started time.Time
+
+	jobsExecuted *obs.Counter
+	abmStep      *obs.Histogram
+	invariants   map[string]*obs.Counter
+	invCount     atomic.Int64
+	lastStage    atomic.Value // string
+
+	memMu sync.Mutex
+	memAt time.Time
+	mem   runtime.MemStats
+
+	snapMu sync.Mutex
+	snapAt time.Time
+}
+
+func newNode(opts Options) *node {
+	n := &node{opts: opts, reg: opts.Registry, started: time.Now()}
+	obs.RegisterRuntime(n.reg)
+	n.jobsExecuted = n.reg.Counter("rumor_jobs_executed_total",
+		"Jobs this worker ran to a terminal status (accepted by the coordinator or not).")
+	n.abmStep = n.reg.Histogram("rumor_abm_step_seconds",
+		"Wall time of one ABM transition sweep on this worker.",
+		[]float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1})
+	n.invariants = map[string]*obs.Counter{}
+	for _, check := range invariant.Checks() {
+		n.invariants[check] = n.reg.Counter("rumor_invariant_violations_total",
+			"Numerical invariant violations detected by this worker's per-job monitors.",
+			obs.L("check", check))
+	}
+	return n
+}
+
+// memSample returns MemStats at most 250ms stale, mirroring the obs
+// runtime-gauge sampler: co-heartbeating jobs share one stop-the-world.
+func (n *node) memSample() runtime.MemStats {
+	n.memMu.Lock()
+	defer n.memMu.Unlock()
+	if n.memAt.IsZero() || time.Since(n.memAt) > 250*time.Millisecond {
+		runtime.ReadMemStats(&n.mem)
+		n.memAt = time.Now()
+	}
+	return n.mem
+}
+
+// telemetry builds the health sample piggybacked on heartbeats and uploads.
+func (n *node) telemetry() *cluster.Telemetry {
+	if n.opts.DisableTelemetry {
+		return nil
+	}
+	ms := n.memSample()
+	stage, _ := n.lastStage.Load().(string)
+	return &cluster.Telemetry{
+		Stage:               stage,
+		InvariantViolations: n.invCount.Load(),
+		JobsExecuted:        n.jobsExecuted.Value(),
+		Goroutines:          runtime.NumGoroutine(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		HeapAllocBytes:      ms.HeapAlloc,
+		GCPauseSecondsTotal: float64(ms.PauseTotalNs) / 1e9,
+		UptimeSeconds:       time.Since(n.started).Seconds(),
+	}
+}
+
+// relaySnapshot samples the relay registry, at most once per snapshotEvery
+// across all send channels (nil when throttled or telemetry is disabled).
+// The first call ships immediately so a short-lived worker still reports;
+// a send that then fails on the wire just waits out the window — snapshots
+// are absolute values, so nothing is lost, only delayed.
+func (n *node) relaySnapshot() obs.Snapshot {
+	if n.opts.DisableTelemetry {
+		return nil
+	}
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	if !n.snapAt.IsZero() && time.Since(n.snapAt) < snapshotEvery {
+		return nil
+	}
+	n.snapAt = time.Now()
+	return n.reg.Snapshot()
+}
 
 // Run executes the worker loop until ctx is cancelled. Cancellation drains
 // gracefully: the job currently leased (if any) runs to completion and its
@@ -97,13 +229,14 @@ func Run(ctx context.Context, opts Options) error {
 	if opts.Coordinator == "" {
 		return errors.New("worker: coordinator URL required")
 	}
+	n := newNode(opts)
 	lg := opts.Logger.With("worker", opts.ID)
 	lg.Info("worker started", "coordinator", opts.Coordinator)
 
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	delay := opts.PollMin
 	for ctx.Err() == nil {
-		leased, err := lease(ctx, opts)
+		leased, err := n.lease()
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -115,7 +248,7 @@ func Run(ctx context.Context, opts Options) error {
 			delay = sleepBackoff(ctx, rng, delay, opts)
 		default:
 			delay = opts.PollMin
-			runLeased(opts, leased, lg)
+			n.runLeased(leased, lg)
 			// Re-poll immediately: a saturated queue keeps the worker busy
 			// back to back.
 		}
@@ -145,7 +278,8 @@ func sleepBackoff(ctx context.Context, rng *rand.Rand, delay time.Duration, opts
 // runLeased executes one leased job end to end: heartbeat loop, executor,
 // result upload. The job runs under its own timeout context detached from
 // the worker's run context, so a drain (SIGTERM) lets it finish.
-func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
+func (n *node) runLeased(leased *service.LeasedJob, lg *slog.Logger) {
+	opts := n.opts
 	jlg := lg.With("job_id", leased.JobID, "trace_id", leased.TraceID)
 	jlg.Info("job leased", "type", leased.Request.Type,
 		"attempt", leased.Attempt, "max_attempts", leased.MaxAttempts)
@@ -157,15 +291,69 @@ func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
 	jobCtx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
-	// Progress events buffer here between heartbeats; the sink runs on
-	// solver goroutines, so the buffer is locked.
+	// Worker-side tracing: stage spans parented under the coordinator's
+	// job span via the leased traceparent, so the coordinator's
+	// http.request → job.<type> chain and these spans share one trace id.
+	// The tracer is per job; finished spans upload incrementally (cursor
+	// below) on heartbeats, with the tail riding the result.
+	parent, _ := trace.ParseTraceparent(leased.Traceparent)
+	jobTracer := trace.New(jobSpanRingCap)
+
+	// The worker's own invariant monitor: the coordinator re-monitors the
+	// relayed event stream, but the relay buffer is bounded — this count
+	// (relayed in the health sample and the registry snapshot) sees every
+	// event. Entries in the job journal stay the coordinator's call, so a
+	// violation is journaled exactly once.
+	monitor := invariant.New(invariant.Config{}, func(v invariant.Violation) {
+		n.invCount.Add(1)
+		if c := n.invariants[v.Check]; c != nil {
+			c.Inc()
+		}
+		jlg.Warn("invariant violation", "check", v.Check, "detail", v.Msg,
+			"stage", v.Event.Stage, "step", v.Event.Step, "t", v.Event.T)
+	})
+
+	// Progress events, worker journal entries and the span-upload cursor
+	// buffer here between heartbeats; the sink runs on solver goroutines,
+	// so the buffer is locked.
 	var (
-		mu      sync.Mutex
-		events  []service.ProgressEvent
-		dropped int
+		mu         sync.Mutex
+		events     []service.ProgressEvent
+		jentries   []journal.Entry
+		stageSpans map[string]*trace.Span
+		sentSpans  int
+		dropped    int
 	)
-	sink := func(ev obs.Event) {
+	addEntry := func(kind, msg string) {
+		if opts.DisableTelemetry {
+			return
+		}
+		e := journal.Entry{
+			JobID: leased.JobID, TraceID: leased.TraceID,
+			Kind: kind, Msg: msg,
+		}
 		mu.Lock()
+		jentries = append(jentries, e)
+		mu.Unlock()
+	}
+	sink := func(ev obs.Event) {
+		n.lastStage.Store(ev.Stage)
+		// Monitor outside the buffer lock: Observe only touches the
+		// monitor's own latch state.
+		monitor.Observe(ev)
+		if ev.Stage == obs.StageABM && ev.Elapsed > 0 {
+			n.abmStep.Observe(ev.Elapsed.Seconds())
+		}
+		mu.Lock()
+		if !opts.DisableTelemetry {
+			if stageSpans == nil {
+				stageSpans = make(map[string]*trace.Span)
+			}
+			if _, ok := stageSpans[ev.Stage]; !ok {
+				stageSpans[ev.Stage] = jobTracer.StartSpan("stage."+ev.Stage, parent,
+					obs.L("worker", opts.ID), obs.L("job_id", leased.JobID))
+			}
+		}
 		if len(events) >= eventBufferCap {
 			events = events[1:]
 			dropped++
@@ -180,11 +368,43 @@ func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
 		mu.Unlock()
 		return out
 	}
+	// drainRelay pops the telemetry tail: journal entries plus the spans
+	// finished since the last upload (the ring never wraps at jobSpanRingCap,
+	// so the cursor is a plain offset).
+	drainRelay := func() ([]journal.Entry, []trace.SpanData) {
+		if opts.DisableTelemetry {
+			return nil, nil
+		}
+		mu.Lock()
+		je := jentries
+		jentries = nil
+		fin := jobTracer.Finished()
+		if sentSpans > len(fin) {
+			sentSpans = len(fin)
+		}
+		spans := fin[sentSpans:]
+		sentSpans = len(fin)
+		mu.Unlock()
+		return je, spans
+	}
+	endStageSpans := func(status string) {
+		mu.Lock()
+		for _, sp := range stageSpans {
+			sp.SetAttr("status", status)
+			sp.End()
+		}
+		stageSpans = nil
+		mu.Unlock()
+	}
 
-	// The heartbeat loop extends the lease and relays buffered progress.
-	// A conflict (the coordinator reaped or re-granted the lease) marks the
-	// lease lost and cancels the job: finishing it would waste cycles on a
-	// result the fenced upload is going to reject anyway.
+	addEntry(journal.KindLifecycle, fmt.Sprintf(
+		"executing on worker %q (attempt %d/%d)",
+		opts.ID, leased.Attempt, leased.MaxAttempts))
+
+	// The heartbeat loop extends the lease and relays buffered progress and
+	// telemetry. A conflict (the coordinator reaped or re-granted the
+	// lease) marks the lease lost and cancels the job: finishing it would
+	// waste cycles on a result the fenced upload is going to reject anyway.
 	hb := opts.Heartbeat
 	if hb <= 0 {
 		hb = time.Duration(leased.LeaseTTLMS) * time.Millisecond / 3
@@ -206,7 +426,16 @@ func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
 				return
 			case <-t.C:
 			}
-			ack, status, err := heartbeat(opts, leased, drain())
+			je, spans := drainRelay()
+			ack, status, err := heartbeat(opts, leased, service.HeartbeatRequest{
+				WorkerID:   opts.ID,
+				LeaseToken: leased.LeaseToken,
+				Events:     drain(),
+				Journal:    je,
+				Spans:      spans,
+				Metrics:    n.relaySnapshot(),
+				Telemetry:  n.telemetry(),
+			})
 			switch {
 			case err != nil:
 				jlg.Warn("heartbeat failed", "error", err.Error())
@@ -236,7 +465,6 @@ func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
 	res := service.ResultRequest{
 		WorkerID:   opts.ID,
 		LeaseToken: leased.LeaseToken,
-		Events:     drain(),
 	}
 	switch {
 	case err == nil:
@@ -255,6 +483,17 @@ func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
 	if dropped > 0 {
 		jlg.Warn("progress events dropped by the heartbeat buffer", "dropped", dropped)
 	}
+	n.jobsExecuted.Inc()
+	n.lastStage.Store("")
+	endStageSpans(res.Status)
+	addEntry(journal.KindLifecycle, fmt.Sprintf(
+		"executor finished on worker %q: %s", opts.ID, res.Status))
+	// Assemble the final relay after the spans closed and the finish entry
+	// landed, so the result upload carries the complete worker-side tail.
+	res.Events = drain()
+	res.Journal, res.Spans = drainRelay()
+	res.Metrics = n.relaySnapshot()
+	res.Telemetry = n.telemetry()
 
 	lostMu.Lock()
 	lost := leaseLost
@@ -278,12 +517,27 @@ func runLeased(opts Options, leased *service.LeasedJob, lg *slog.Logger) {
 }
 
 // lease polls the coordinator for the next job: (nil, nil) when the queue
-// is empty (204).
-func lease(ctx context.Context, opts Options) (*service.LeasedJob, error) {
+// is empty (204). When the snapshot throttle window has elapsed, the poll
+// doubles as a telemetry send — the only channel a worker between leases
+// has, and what keeps an idle fleet's /metrics re-export converged.
+//
+// The request runs on a detached context, like heartbeats and uploads: the
+// instant the poll is sent, the coordinator may grant (and record) a lease,
+// so a drain signal must not abort the in-flight read — the worker has to
+// learn what it now holds and finish it. Run checks its own ctx between
+// polls; shutdown waits at most one poll round trip.
+func (n *node) lease() (*service.LeasedJob, error) {
+	opts := n.opts
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	req := service.LeaseRequest{WorkerID: opts.ID, Addr: opts.Addr}
+	if snap := n.relaySnapshot(); snap != nil {
+		req.Metrics = snap
+		req.Telemetry = n.telemetry()
+	}
 	var leased service.LeasedJob
 	status, err := postJSON(ctx, opts,
-		opts.Coordinator+"/v1/internal/lease",
-		service.LeaseRequest{WorkerID: opts.ID, Addr: opts.Addr}, &leased)
+		opts.Coordinator+"/v1/internal/lease", req, &leased)
 	if err != nil {
 		return nil, err
 	}
@@ -297,17 +551,16 @@ func lease(ctx context.Context, opts Options) (*service.LeasedJob, error) {
 	}
 }
 
-// heartbeat extends the job's lease, shipping buffered progress events.
-// HTTP-level failures return err; application rejections return the status.
-func heartbeat(opts Options, leased *service.LeasedJob, events []service.ProgressEvent) (service.HeartbeatAck, int, error) {
+// heartbeat extends the job's lease, shipping the buffered progress and
+// telemetry relay. HTTP-level failures return err; application rejections
+// return the status.
+func heartbeat(opts Options, leased *service.LeasedJob, req service.HeartbeatRequest) (service.HeartbeatAck, int, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	var ack service.HeartbeatAck
 	status, err := postJSON(ctx, opts,
 		fmt.Sprintf("%s/v1/internal/jobs/%s/heartbeat", opts.Coordinator, leased.JobID),
-		service.HeartbeatRequest{
-			WorkerID: opts.ID, LeaseToken: leased.LeaseToken, Events: events,
-		}, &ack)
+		req, &ack)
 	return ack, status, err
 }
 

@@ -30,7 +30,8 @@ import (
 // registration time, never at observation time (see DESIGN.md §8 for the
 // cardinality rules).
 type Label struct {
-	Name, Value string
+	Name  string `json:"name"`
+	Value string `json:"value"`
 }
 
 // L is shorthand for constructing a Label.

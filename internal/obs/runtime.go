@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Go runtime self-telemetry (DESIGN.md §13): gauge-funcs over a cached
+// MemStats sample so a scrape that reads several heap gauges pays for at
+// most one runtime.ReadMemStats stop-the-world per refresh window instead
+// of one per gauge. Registered by every rumord mode — standalone,
+// coordinator and worker — and relayed from workers to the coordinator
+// in registry snapshots.
+
+// runtimeSampleMaxAge bounds how stale the shared MemStats sample may be.
+// Scrape cadences are seconds; 250ms keeps co-scraped gauges mutually
+// consistent without hammering ReadMemStats under concurrent scrapers.
+const runtimeSampleMaxAge = 250 * time.Millisecond
+
+type runtimeSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	seen bool
+}
+
+func (s *runtimeSampler) sample() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.seen || time.Since(s.at) > runtimeSampleMaxAge {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+		s.seen = true
+	}
+	return s.ms
+}
+
+// RegisterRuntime registers the Go runtime gauges on r. Safe to call more
+// than once per registry (re-registration replaces the sampling funcs).
+func RegisterRuntime(r *Registry) {
+	s := &runtimeSampler{}
+	r.GaugeFunc("rumor_runtime_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("rumor_runtime_gomaxprocs",
+		"GOMAXPROCS of the process.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("rumor_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects (MemStats.HeapAlloc).",
+		func() float64 { return float64(s.sample().HeapAlloc) })
+	r.GaugeFunc("rumor_runtime_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS (MemStats.HeapSys).",
+		func() float64 { return float64(s.sample().HeapSys) })
+	r.GaugeFunc("rumor_runtime_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time (MemStats.PauseTotalNs).",
+		func() float64 { return float64(s.sample().PauseTotalNs) / 1e9 })
+	r.GaugeFunc("rumor_runtime_gc_cycles_total",
+		"Completed GC cycles (MemStats.NumGC).",
+		func() float64 { return float64(s.sample().NumGC) })
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildRegistry populates a registry the way a worker node does: counters
+// with and without labels, a gauge, a gauge-func and a histogram.
+func buildRegistry(jobs int64, goroutines float64, obs ...float64) *Registry {
+	r := NewRegistry()
+	r.Counter("rumor_jobs_executed_total", "jobs").Add(jobs)
+	r.Counter("rumor_invariant_violations_total", "trips", L("check", "theta_range")).Add(2)
+	r.Gauge("rumor_queue_depth", "depth").Set(3)
+	r.GaugeFunc("rumor_runtime_goroutines", "goroutines", func() float64 { return goroutines })
+	h := r.Histogram("rumor_abm_step_seconds", "steps", []float64{0.1, 1})
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := buildRegistry(5, 7, 0.05, 0.5, 2).Snapshot()
+
+	// The snapshot is JSON-able: the relay ships it inside heartbeat bodies.
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := back.WritePrometheus(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"# TYPE rumor_jobs_executed_total counter",
+		"rumor_jobs_executed_total 5",
+		`rumor_invariant_violations_total{check="theta_range"} 2`,
+		"rumor_queue_depth 3",
+		"rumor_runtime_goroutines 7", // gauge-funcs travel as plain gauges
+		`rumor_abm_step_seconds_bucket{le="0.1"} 1`,
+		`rumor_abm_step_seconds_bucket{le="1"} 2`,
+		`rumor_abm_step_seconds_bucket{le="+Inf"} 3`,
+		"rumor_abm_step_seconds_count 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendered snapshot missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSnapshotRename(t *testing.T) {
+	snap := buildRegistry(1, 1).Snapshot()
+	var sb strings.Builder
+	rename := func(name string) string { return "rumor_worker_" + strings.TrimPrefix(name, "rumor_") }
+	if err := snap.WritePrometheus(&sb, rename, L("worker", "w-1")); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`rumor_worker_jobs_executed_total{worker="w-1"} 1`,
+		// The extra label lands after the series' own labels.
+		`rumor_worker_invariant_violations_total{check="theta_range",worker="w-1"} 2`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("renamed render missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "rumor_jobs_executed_total") {
+		t.Error("rename left an un-prefixed family behind")
+	}
+}
+
+// TestSnapshotLabelAntiSpoof: a series that already carries a label of the
+// injected name keeps its own value — a worker cannot impersonate another
+// by pre-labelling its series worker="other".
+func TestSnapshotLabelAntiSpoof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rumor_sneaky_total", "spoof", L("worker", "other")).Add(9)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb, nil, L("worker", "w-real")); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `{worker="other"}`) || strings.Contains(got, "w-real") {
+		t.Errorf("injected label overrode the series' own:\n%s", got)
+	}
+}
+
+// TestSnapshotRenameRejectsInvalidNames: a hostile relay cannot corrupt the
+// scrape with a family name outside the Prometheus charset.
+func TestSnapshotRenameRejectsInvalidNames(t *testing.T) {
+	snap := Snapshot{{Name: `bad"name{}`, Type: "counter",
+		Series: []SeriesSnapshot{{Counter: ptrInt64(1)}}}}
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("invalid family rendered anyway:\n%s", sb.String())
+	}
+}
+
+func ptrInt64(v int64) *int64 { return &v }
+
+func TestMergeSnapshots(t *testing.T) {
+	a := buildRegistry(5, 7, 0.05).Snapshot()
+	b := buildRegistry(3, 4, 0.5, 2).Snapshot()
+	merged := MergeSnapshots(a, b)
+
+	var sb strings.Builder
+	if err := merged.WritePrometheus(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"rumor_jobs_executed_total 8", // counters sum
+		"rumor_queue_depth 6",         // gauges sum too: fleet totals
+		"rumor_runtime_goroutines 11",
+		`rumor_abm_step_seconds_bucket{le="+Inf"} 3`, // histograms bucket-merge
+		"rumor_abm_step_seconds_count 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged render missing %q:\n%s", want, got)
+		}
+	}
+
+	// Max takes the max across workers.
+	for _, f := range merged {
+		if f.Name == "rumor_abm_step_seconds" {
+			if max := f.Series[0].Histogram.Max; max != 2 {
+				t.Errorf("merged histogram max = %g, want 2", max)
+			}
+		}
+	}
+}
+
+// TestMergeSnapshotsLayoutMismatch: histograms with different bucket layouts
+// keep the first layout instead of producing a corrupt sum.
+func TestMergeSnapshotsLayoutMismatch(t *testing.T) {
+	mk := func(buckets []float64) Snapshot {
+		r := NewRegistry()
+		r.Histogram("rumor_h", "h", buckets).Observe(0.5)
+		return r.Snapshot()
+	}
+	merged := MergeSnapshots(mk([]float64{0.1, 1}), mk([]float64{0.5}))
+	if len(merged) != 1 || merged[0].Series[0].Histogram.Count != 1 {
+		t.Errorf("mismatched layouts merged: %+v", merged)
+	}
+}
+
+func TestSnapshotWithLabel(t *testing.T) {
+	orig := buildRegistry(1, 1).Snapshot()
+	labelled := orig.WithLabel(L("worker", "w-9"))
+
+	// The original is untouched (deep-enough copy).
+	for _, f := range orig {
+		for _, s := range f.Series {
+			for _, l := range s.Labels {
+				if l.Name == "worker" {
+					t.Fatalf("WithLabel mutated the source snapshot: %+v", s.Labels)
+				}
+			}
+		}
+	}
+	for _, f := range labelled {
+		for _, s := range f.Series {
+			found := false
+			for _, l := range s.Labels {
+				found = found || (l.Name == "worker" && l.Value == "w-9")
+			}
+			if !found {
+				t.Errorf("family %s series %v missing the injected label", f.Name, s.Labels)
+			}
+		}
+	}
+}

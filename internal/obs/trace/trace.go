@@ -319,6 +319,15 @@ func (t *Tracer) export(data SpanData) {
 	t.dropped++
 }
 
+// Import adds externally finished spans — uploaded by a worker node with
+// its heartbeat or result — to the ring as if they had ended locally, in
+// the order given (oldest first keeps ring eviction sensible).
+func (t *Tracer) Import(spans []SpanData) {
+	for _, sp := range spans {
+		t.export(sp)
+	}
+}
+
 // Finished returns the retained finished spans, oldest first.
 func (t *Tracer) Finished() []SpanData {
 	if t == nil {

@@ -13,6 +13,7 @@ import (
 	"rumornet/internal/obs"
 	"rumornet/internal/obs/invariant"
 	"rumornet/internal/obs/journal"
+	"rumornet/internal/obs/trace"
 )
 
 // This file is the coordinator side of distributed rumord (DESIGN.md §12).
@@ -176,10 +177,16 @@ func (p ProgressEvent) toObs() obs.Event {
 	}
 }
 
-// LeaseRequest is the body of POST /v1/internal/lease.
+// LeaseRequest is the body of POST /v1/internal/lease. The optional
+// telemetry relay (DESIGN.md §13) lets the poll double as a metrics send:
+// workers throttle registry snapshots to one per window across channels,
+// and between leases the poll is the only request a worker makes — without
+// it, an idle node's final counters would never reach /metrics.
 type LeaseRequest struct {
-	WorkerID string `json:"worker_id"`
-	Addr     string `json:"addr,omitempty"`
+	WorkerID  string             `json:"worker_id"`
+	Addr      string             `json:"addr,omitempty"`
+	Metrics   obs.Snapshot       `json:"metrics,omitempty"`
+	Telemetry *cluster.Telemetry `json:"telemetry,omitempty"`
 }
 
 // LeasedJob is the coordinator's answer to a successful lease: everything a
@@ -198,13 +205,37 @@ type LeasedJob struct {
 	LeaseTTLMS  int64  `json:"lease_ttl_ms"`
 	Attempt     int    `json:"attempt"`
 	MaxAttempts int    `json:"max_attempts"`
+	// Traceparent is the W3C context of the coordinator's job span. The
+	// worker parents its stage spans under it, so the coordinator's
+	// http.request → job.<type> chain and the worker's stage.* spans share
+	// one trace id end to end (DESIGN.md §13).
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // HeartbeatRequest is the body of POST /v1/internal/jobs/{id}/heartbeat.
+// Beyond the lease extension it is the telemetry relay: solver checkpoints
+// (Events), worker-side journal entries, finished spans, a registry
+// snapshot and a runtime-health sample all piggyback on the beat — no
+// extra round trips, and a worker that can heartbeat can always report.
 type HeartbeatRequest struct {
 	WorkerID   string          `json:"worker_id"`
 	LeaseToken string          `json:"lease_token"`
 	Events     []ProgressEvent `json:"events,omitempty"`
+	// Journal carries worker-local lifecycle entries for this job; the
+	// coordinator merges them into the job's flight recorder (their JobID,
+	// TraceID and Seq are restamped server-side — a worker cannot write
+	// into another job's journal).
+	Journal []journal.Entry `json:"journal,omitempty"`
+	// Spans are finished worker-side spans, uploaded incrementally; the
+	// coordinator imports them into its span ring so /debug/events shows
+	// one coherent trace for a remotely-executed job.
+	Spans []trace.SpanData `json:"spans,omitempty"`
+	// Metrics is a snapshot of the worker's metric registry, re-exported by
+	// the coordinator as rumor_worker_*{worker="..."} plus rumor_fleet_*
+	// aggregates.
+	Metrics obs.Snapshot `json:"metrics,omitempty"`
+	// Telemetry is the worker's health sample for GET /v1/workers.
+	Telemetry *cluster.Telemetry `json:"telemetry,omitempty"`
 }
 
 // HeartbeatAck extends the lease and carries the coordinator's cancel
@@ -226,6 +257,14 @@ type ResultRequest struct {
 	// Events is the tail of progress events since the last heartbeat,
 	// applied before the job finalizes so the journal is complete.
 	Events []ProgressEvent `json:"events,omitempty"`
+	// Journal, Spans, Metrics and Telemetry are the final telemetry relay —
+	// the same piggyback as HeartbeatRequest, so a job that finishes inside
+	// one heartbeat interval still delivers its worker-side trace and
+	// journal tail with the result.
+	Journal   []journal.Entry    `json:"journal,omitempty"`
+	Spans     []trace.SpanData   `json:"spans,omitempty"`
+	Metrics   obs.Snapshot       `json:"metrics,omitempty"`
+	Telemetry *cluster.Telemetry `json:"telemetry,omitempty"`
 }
 
 // ClusterStats is the cluster section of /v1/stats on a coordinator.
@@ -253,15 +292,29 @@ func (s *Service) Workers() []cluster.WorkerInfo {
 	return ws
 }
 
-// Degraded reports why a coordinator should not receive submit traffic, or
-// "" when healthy: queued work with zero live workers means every accepted
-// job would sit until a worker appears, and the load balancer should know.
-func (s *Service) Degraded() string {
-	if s.table == nil {
-		return ""
+// DegradedReasons enumerates why the service should not receive submit
+// traffic, empty when healthy. A load balancer keys off the /readyz status
+// code alone; the reasons are for the operator who asks *why* the instance
+// dropped out — queued work with zero live workers (every accepted job
+// would sit until a worker appears) and durable-store append failures
+// (accepted jobs may not survive a crash) are different pages.
+func (s *Service) DegradedReasons() []string {
+	var reasons []string
+	if s.table != nil {
+		if qd := len(s.queue); qd > 0 && s.table.LiveWorkers() == 0 {
+			reasons = append(reasons, fmt.Sprintf("no live workers, %d jobs queued", qd))
+		}
 	}
-	if qd := len(s.queue); qd > 0 && s.table.LiveWorkers() == 0 {
-		return fmt.Sprintf("no live workers, %d jobs queued", qd)
+	if n := s.met.walErrors.Value(); n > 0 {
+		reasons = append(reasons, fmt.Sprintf("durable store reported %d append/fsync errors", n))
+	}
+	return reasons
+}
+
+// Degraded reports the first degradation reason, or "" when healthy.
+func (s *Service) Degraded() string {
+	if reasons := s.DegradedReasons(); len(reasons) > 0 {
+		return reasons[0]
 	}
 	return ""
 }
@@ -273,6 +326,7 @@ func (s *Service) DeregisterWorker(id string) {
 		return
 	}
 	s.table.Deregister(id)
+	s.dropWorkerTelemetry(id)
 	s.cfg.Logger.Info("worker deregistered", "worker", id)
 }
 
@@ -368,14 +422,16 @@ func (s *Service) grantLease(r *jobRecord, workerID string) *LeasedJob {
 		LeaseTTLMS:  s.table.TTL().Milliseconds(),
 		Attempt:     attempt,
 		MaxAttempts: s.cfg.Cluster.MaxAttempts,
+		Traceparent: r.span.Context().Traceparent(),
 	}
 }
 
-// ExtendLease validates the token, pushes the lease deadline out, and
-// relays the carried progress events through the job's sink — so SSE
-// streams, GET /v1/jobs/{id} progress, invariant monitoring and metrics
-// all keep working for a remotely-executing job.
-func (s *Service) ExtendLease(id, token string, events []ProgressEvent) (HeartbeatAck, error) {
+// ExtendLease validates the token, pushes the lease deadline out, relays
+// the carried progress events through the job's sink — so SSE streams,
+// GET /v1/jobs/{id} progress, invariant monitoring and metrics all keep
+// working for a remotely-executing job — and merges the piggybacked
+// telemetry (journal entries, spans, metrics, health sample).
+func (s *Service) ExtendLease(id string, req HeartbeatRequest) (HeartbeatAck, error) {
 	if s.table == nil {
 		return HeartbeatAck{}, fmt.Errorf("%w: not a coordinator", ErrNotFound)
 	}
@@ -385,18 +441,21 @@ func (s *Service) ExtendLease(id, token string, events []ProgressEvent) (Heartbe
 		s.mu.Unlock()
 		return HeartbeatAck{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
 	}
-	lease, err := s.table.Extend(id, token)
+	lease, err := s.table.Extend(id, req.LeaseToken)
 	if err != nil {
 		s.mu.Unlock()
 		return HeartbeatAck{}, fmt.Errorf("%w: %v", ErrStaleLease, err)
 	}
 	sink := r.sink
 	cancelled := r.userCancelled
+	jobID, traceID := r.job.ID, r.job.TraceID
 	s.mu.Unlock()
 
-	for _, ev := range events {
+	for _, ev := range req.Events {
 		sink(ev.toObs())
 	}
+	s.mergeWorkerRelay(jobID, traceID, req.Journal, req.Spans)
+	s.storeWorkerTelemetry(lease.Worker, req.Metrics, req.Telemetry)
 	return HeartbeatAck{
 		LeaseTTLMS: s.table.TTL().Milliseconds(),
 		Cancel:     lease.Cancel || cancelled,
@@ -440,6 +499,10 @@ func (s *Service) CompleteLease(id string, res ResultRequest) (Job, error) {
 	for _, ev := range res.Events {
 		sink(ev.toObs())
 	}
+	// Merge the final telemetry relay before the Final journal entry lands,
+	// so an SSE replay reads worker-side entries in causal order.
+	s.mergeWorkerRelay(id, r.job.TraceID, res.Journal, res.Spans)
+	s.storeWorkerTelemetry(lease.Worker, res.Metrics, res.Telemetry)
 	if st == StatusSucceeded {
 		// Theorem 5 consistency of the finished trajectory, as in runJob.
 		if r.req.Type == JobODE && monitor != nil {
@@ -621,6 +684,9 @@ func (s *Service) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Store the relay before leasing: it lands even on a 204 from an empty
+	// queue, which is exactly the idle-worker flush case.
+	s.storeWorkerTelemetry(req.WorkerID, req.Metrics, req.Telemetry)
 	lj, err := s.LeaseNext(req.WorkerID, req.Addr)
 	if err != nil {
 		writeServiceError(w, err)
@@ -639,7 +705,7 @@ func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ack, err := s.ExtendLease(r.PathValue("id"), req.LeaseToken, req.Events)
+	ack, err := s.ExtendLease(r.PathValue("id"), req)
 	if err != nil {
 		writeServiceError(w, err)
 		return

@@ -36,7 +36,7 @@ import (
 // registry.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /metrics", obs.Handler(s.met.reg))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -45,12 +45,13 @@ func (s *Service) Handler() http.Handler {
 			writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 			return
 		}
-		if reason := s.Degraded(); reason != "" {
-			// A coordinator with queued work and no live workers must not
-			// receive more submit traffic: report degraded so load
-			// balancers route elsewhere until a worker appears.
+		if reasons := s.DegradedReasons(); len(reasons) > 0 {
+			// Degraded instances must not receive more submit traffic; load
+			// balancers key off the 503 alone, while the body enumerates
+			// every reason (no live workers, store errors, ...) for the
+			// operator paged to find out why the instance dropped out.
 			writeJSON(w, http.StatusServiceUnavailable,
-				map[string]string{"status": "degraded", "reason": reason})
+				map[string]any{"status": "degraded", "reasons": reasons})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -99,12 +100,24 @@ func (s *Service) Handler() http.Handler {
 	return s.telemetry(mux)
 }
 
-// MetricsHandler returns just the Prometheus exposition endpoint, without
-// the API routes or telemetry middleware. rumord mounts it on the opt-in
-// -debug-addr listener so an operator can scrape a daemon whose API port
-// is firewalled off.
+// handleMetrics serves GET /metrics: the service's own registry followed by
+// the cluster telemetry re-export — each worker's relayed snapshot under
+// rumor_worker_*{worker="..."} and the fleet aggregate under rumor_fleet_*.
+// Standalone services have no snapshots and render exactly the registry.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := s.met.reg.WritePrometheus(w); err != nil {
+		return // client went away mid-scrape
+	}
+	s.writeWorkerMetrics(w)
+}
+
+// MetricsHandler returns just the Prometheus exposition endpoint (including
+// the cluster re-export), without the API routes or telemetry middleware.
+// rumord mounts it on the opt-in -debug-addr listener so an operator can
+// scrape a daemon whose API port is firewalled off.
 func (s *Service) MetricsHandler() http.Handler {
-	return obs.Handler(s.met.reg)
+	return http.HandlerFunc(s.handleMetrics)
 }
 
 // telemetry wraps the API mux with request-id and trace propagation,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"rumornet/internal/degreedist"
 	"rumornet/internal/obs/journal"
 	"rumornet/internal/obs/trace"
 	"rumornet/internal/store"
@@ -66,6 +67,17 @@ func (s *Service) walAttempt(id string, attempt int) {
 	s.walErrored("attempt", id, s.store.AppendAttempt(id, attempt))
 }
 
+// walScenario logs an uploaded scenario table so a restart re-registers it
+// before recovered jobs try to resolve it.
+func (s *Service) walScenario(name, source string, degrees []int, probs []float64) {
+	if s.store == nil {
+		return
+	}
+	s.walErrored("scenario", name, s.store.AppendScenario(store.ScenarioState{
+		Name: name, Source: source, Degrees: degrees, Probs: probs,
+	}))
+}
+
 // storePutResult persists a succeeded job's result blob. Callers hold s.mu.
 func (s *Service) storePutResult(key string, raw json.RawMessage) {
 	if s.store == nil {
@@ -91,6 +103,25 @@ func (s *Service) walErrored(op, id string, err error) {
 // New after scenario registration and before the workers start; the lock
 // discipline of the helpers it shares with the live paths still applies.
 func (s *Service) recoverFromStore() {
+	// Scenario tables first: recovered jobs referencing an uploaded
+	// scenario resolve only if the table is already registered. The
+	// built-in name collides by design (it was never WAL-logged, but be
+	// defensive about hand-edited logs) and is skipped silently.
+	replayed := 0
+	for _, sc := range s.store.Scenarios() {
+		d, err := degreedist.New(sc.Degrees, sc.Probs)
+		if err == nil {
+			_, err = s.scenarios.register(sc.Name, sc.Source, d)
+		}
+		if err != nil {
+			s.cfg.Logger.Warn("persisted scenario not re-registered",
+				"scenario", sc.Name, "error", err.Error())
+			continue
+		}
+		replayed++
+	}
+	s.met.scenarioReplays.Add(int64(replayed))
+
 	keys := s.store.ResultKeys()
 	if limit := s.cfg.CacheEntries; limit > 0 && len(keys) > limit {
 		keys = keys[:limit]
@@ -122,9 +153,10 @@ func (s *Service) recoverFromStore() {
 		}
 	}
 	s.met.recoveredJobs.Add(int64(requeued))
-	if warmed > 0 || len(pending) > 0 {
+	if warmed > 0 || len(pending) > 0 || replayed > 0 {
 		s.cfg.Logger.Info("recovery complete",
-			"results_warmed", warmed, "jobs_requeued", requeued,
+			"results_warmed", warmed, "scenarios_replayed", replayed,
+			"jobs_requeued", requeued,
 			"jobs_served_from_cache", served, "jobs_failed", failed,
 			"next_seq", s.seq+1)
 	}

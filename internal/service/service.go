@@ -125,6 +125,13 @@ type Service struct {
 	draining bool
 
 	reqSeq atomic.Uint64 // request-id generator for the HTTP middleware
+
+	// telMu guards the per-worker registry snapshots relayed on heartbeats
+	// and result uploads; /metrics re-exports them as rumor_worker_* series
+	// and rumor_fleet_* aggregates. Separate from mu: a scrape must not
+	// contend with the job table.
+	telMu       sync.Mutex
+	workerSnaps map[string]obs.Snapshot
 }
 
 // New builds a Service, registers the built-in Digg2009 scenario, and
@@ -221,13 +228,21 @@ func (r *jobRecord) snapshot() Job {
 	return job
 }
 
-// RegisterScenario adds an uploaded degree table under the given name.
+// RegisterScenario adds an uploaded degree table under the given name and,
+// when a durable store is configured, persists the table in the WAL — so a
+// coordinator restart re-registers it and recovered jobs that reference it
+// no longer fail with "unknown scenario".
 func (s *Service) RegisterScenario(name string, degrees []int, probs []float64) (*Scenario, error) {
 	d, err := degreedist.New(degrees, probs)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	return s.scenarios.register(name, "uploaded", d)
+	sc, err := s.scenarios.register(name, "uploaded", d)
+	if err != nil {
+		return nil, err
+	}
+	s.walScenario(name, "uploaded", degrees, probs)
+	return sc, nil
 }
 
 // Scenario returns a registered scenario by name.
@@ -574,6 +589,7 @@ func (s *Service) Stats() Stats {
 			RecoveredResults: s.met.recoveredResults.Value(),
 			ResultHits:       s.met.diskHits.Value(),
 			WALErrors:        s.met.walErrors.Value(),
+			ScenarioReplays:  s.met.scenarioReplays.Value(),
 		}
 	}
 	if s.table != nil {
@@ -838,7 +854,13 @@ func (s *Service) progressSink(r *jobRecord, monitor *invariant.Monitor, lg *slo
 			UpdatedAt: time.Now(),
 		}
 		r.prog.Store(jp)
-		r.stageSpan(s.tracer, ev.Stage)
+		// Standalone mode opens coordinator-local stage spans; in cluster
+		// mode the executing worker times its own stage spans and uploads
+		// them with the heartbeat/result relay, so opening a second set
+		// here would double every stage in the trace.
+		if s.table == nil {
+			r.stageSpan(s.tracer, ev.Stage)
+		}
 		// Monitor first: a violation's journal entry then precedes the
 		// checkpoint that triggered it in the replay, reading causally.
 		monitor.Observe(ev)

@@ -58,6 +58,9 @@ type StoreStats struct {
 	// after a memory-cache miss; WALErrors failed store operations.
 	ResultHits int64 `json:"result_hits"`
 	WALErrors  int64 `json:"wal_errors"`
+	// ScenarioReplays counts uploaded scenario tables re-registered from
+	// the WAL by startup recovery.
+	ScenarioReplays int64 `json:"scenario_replays"`
 }
 
 // LatencySummary aggregates per-job-type execution latency.
@@ -116,6 +119,7 @@ type metrics struct {
 	diskHits         *obs.Counter
 	recoveredJobs    *obs.Counter
 	recoveredResults *obs.Counter
+	scenarioReplays  *obs.Counter
 
 	// Cluster instruments (registered unconditionally; all stay zero on a
 	// standalone service).
@@ -189,6 +193,8 @@ func newMetrics() *metrics {
 		"Unfinished jobs re-enqueued by startup recovery.")
 	m.recoveredResults = reg.Counter("rumor_store_recovered_results_total",
 		"Persisted results warmed into the memory cache by startup recovery.")
+	m.scenarioReplays = reg.Counter("rumor_store_scenario_replays_total",
+		"Uploaded scenario tables re-registered from the WAL by startup recovery.")
 	m.leaseExpirations = reg.Counter("rumor_cluster_lease_expirations_total",
 		"Cluster leases reaped after their TTL passed without a heartbeat.")
 	m.requeues = reg.Counter("rumor_cluster_requeues_total",
@@ -209,6 +215,10 @@ func (m *metrics) workerLatency(worker string, elapsed time.Duration) {
 // state at scrape time. Split from newMetrics because they close over the
 // Service being constructed.
 func (m *metrics) registerDerived(s *Service) {
+	// Go runtime self-telemetry (DESIGN.md §13): standalone and coordinator
+	// modes register here; worker nodes register the same gauges on their
+	// own relay registry in internal/cluster/worker.
+	obs.RegisterRuntime(m.reg)
 	m.reg.GaugeFunc("rumor_queue_depth",
 		"Jobs queued but not yet running.",
 		func() float64 { return float64(len(s.queue)) })

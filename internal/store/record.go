@@ -36,6 +36,7 @@ const (
 	opStarted   = "started"
 	opFinished  = "finished"
 	opAttempt   = "attempt"
+	opScenario  = "scenario"
 	opSnapshot  = "snapshot"
 )
 
@@ -62,9 +63,26 @@ type walRecord struct {
 	TraceID     string          `json:"trace_id,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at,omitempty"`
 
+	// Scenario is the uploaded degree-distribution table of an opScenario
+	// record; recovery re-registers it so recovered jobs that reference it
+	// no longer fail with "unknown scenario".
+	Scenario *ScenarioState `json:"scenario,omitempty"`
+
 	// Snapshot payload (opSnapshot).
-	Jobs   []JobState `json:"jobs,omitempty"`
-	MaxSeq uint64     `json:"max_seq,omitempty"`
+	Jobs      []JobState      `json:"jobs,omitempty"`
+	Scenarios []ScenarioState `json:"scenarios,omitempty"`
+	MaxSeq    uint64          `json:"max_seq,omitempty"`
+}
+
+// ScenarioState is the persisted form of one uploaded scenario table: the
+// registration name plus the degree distribution verbatim. Registration is
+// append-only service-side, so the WAL never needs update or delete ops
+// for it, and snapshots carry the full set.
+type ScenarioState struct {
+	Name    string    `json:"name"`
+	Source  string    `json:"source,omitempty"`
+	Degrees []int     `json:"degrees"`
+	Probs   []float64 `json:"probs"`
 }
 
 // JobState is the recovered view of a job that was submitted but had not

@@ -138,6 +138,8 @@ type Stats struct {
 	Compactions       int64 `json:"compactions"`
 	// PendingJobs is the number of logged-but-unfinished jobs.
 	PendingJobs int `json:"pending_jobs"`
+	// Scenarios is the number of persisted uploaded scenario tables.
+	Scenarios int `json:"scenarios"`
 	// Results and ResultBytes size the content-addressed result store;
 	// ResultEvictions counts retention-GC removals and BadBlobs quarantined
 	// checksum failures.
@@ -156,17 +158,19 @@ type Store struct {
 	resultsDir string
 	opts       Options
 
-	mu           sync.Mutex // WAL state: segment file, pending jobs, stats
-	seg          *os.File
-	segIdx       uint64
-	segSize      int64
-	segCount     int
-	dirty        bool
-	closed       bool
-	pending      map[string]*JobState
-	pendingOrder []string
-	maxSeq       uint64
-	stats        Stats
+	mu            sync.Mutex // WAL state: segment file, pending jobs, stats
+	seg           *os.File
+	segIdx        uint64
+	segSize       int64
+	segCount      int
+	dirty         bool
+	closed        bool
+	pending       map[string]*JobState
+	pendingOrder  []string
+	scenarios     map[string]ScenarioState
+	scenarioOrder []string
+	maxSeq        uint64
+	stats         Stats
 
 	bmu             sync.Mutex // blob index
 	blobs           map[string]blobInfo
@@ -190,6 +194,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		resultsDir: filepath.Join(dir, resultsDirName),
 		opts:       opts,
 		pending:    make(map[string]*JobState),
+		scenarios:  make(map[string]ScenarioState),
 		blobs:      make(map[string]blobInfo),
 		flushStop:  make(chan struct{}),
 		flushDone:  make(chan struct{}),
@@ -306,6 +311,24 @@ func (s *Store) AppendAttempt(id string, attempt int) error {
 	return s.appendRecord(walRecord{Op: opAttempt, JobID: id, Attempt: attempt})
 }
 
+// AppendScenario logs an uploaded scenario table so recovery can
+// re-register it before re-enqueueing the jobs that reference it.
+func (s *Store) AppendScenario(sc ScenarioState) error {
+	return s.appendRecord(walRecord{Op: opScenario, Scenario: &sc})
+}
+
+// Scenarios returns the persisted scenario tables in registration order —
+// the re-register set for recovery.
+func (s *Store) Scenarios() []ScenarioState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ScenarioState, 0, len(s.scenarioOrder))
+	for _, name := range s.scenarioOrder {
+		out = append(out, s.scenarios[name])
+	}
+	return out
+}
+
 // Compact forces a snapshot-and-drop compaction regardless of segment
 // count (rotation triggers it automatically at CompactSegments).
 func (s *Store) Compact() error {
@@ -348,6 +371,7 @@ func (s *Store) Snapshot() Stats {
 	st.WALSegments = s.segCount
 	st.WALBytes = s.walBytesLocked()
 	st.PendingJobs = len(s.pending)
+	st.Scenarios = len(s.scenarios)
 	s.mu.Unlock()
 	s.bmu.Lock()
 	st.Results = len(s.blobs)

@@ -130,6 +130,10 @@ func (s *Store) apply(rec walRecord) {
 		if js, ok := s.pending[rec.JobID]; ok {
 			js.Attempts = rec.Attempt
 		}
+	case opScenario:
+		if rec.Scenario != nil {
+			s.addScenario(*rec.Scenario)
+		}
 	case opSnapshot:
 		s.pending = make(map[string]*JobState)
 		s.pendingOrder = s.pendingOrder[:0]
@@ -137,10 +141,25 @@ func (s *Store) apply(rec walRecord) {
 			js := js
 			s.addPending(js)
 		}
+		s.scenarios = make(map[string]ScenarioState)
+		s.scenarioOrder = s.scenarioOrder[:0]
+		for _, sc := range rec.Scenarios {
+			s.addScenario(sc)
+		}
 		if rec.MaxSeq > s.maxSeq {
 			s.maxSeq = rec.MaxSeq
 		}
 	}
+}
+
+// addScenario records one persisted scenario table, first registration
+// wins — mirroring the service registry's append-only semantics.
+func (s *Store) addScenario(sc ScenarioState) {
+	if _, dup := s.scenarios[sc.Name]; dup {
+		return
+	}
+	s.scenarios[sc.Name] = sc
+	s.scenarioOrder = append(s.scenarioOrder, sc.Name)
 }
 
 func (s *Store) addPending(js JobState) {
@@ -279,6 +298,9 @@ func (s *Store) compactLocked() error {
 	snap := walRecord{Op: opSnapshot, MaxSeq: s.maxSeq}
 	for _, id := range s.pendingOrder {
 		snap.Jobs = append(snap.Jobs, *s.pending[id])
+	}
+	for _, name := range s.scenarioOrder {
+		snap.Scenarios = append(snap.Scenarios, s.scenarios[name])
 	}
 	frame, err := encodeRecord(snap)
 	if err != nil {

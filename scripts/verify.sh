@@ -14,7 +14,11 @@
 # cluster's lease table under concurrent grant/extend/expire, plus the
 # coordinator/worker crash matrix in internal/cluster/worker — worker
 # kill mid-job, coordinator restart with leased jobs, poison-job
-# exhaustion, both drain directions) must stay data-race free; -race
+# exhaustion, both drain directions — and the telemetry relay layered on
+# it: worker-side span/journal/snapshot buffers racing the heartbeat
+# goroutine, the coordinator's relay merge racing /metrics scrapes and
+# SSE followers, and the rumorctl -follow live tail against a real
+# cluster) must stay data-race free; -race
 # roughly 10x-es the runtime, so it is a separate gate. Tier 2 also runs
 # every benchmark for exactly one iteration — benchmarks bit-rot silently
 # otherwise (the bench.sh suites only exercise their own subset). Usage:
