@@ -35,10 +35,11 @@ func runTop(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		lat := fetchLatency(*addr)
 		if *watch > 0 {
 			fmt.Fprint(out, "\033[H\033[2J") // home + clear, terminal redraw
 		}
-		if err := renderTop(out, workers); err != nil {
+		if err := renderTop(out, workers, lat); err != nil {
 			return err
 		}
 		if *watch <= 0 {
@@ -49,7 +50,7 @@ func runTop(args []string, out io.Writer) error {
 }
 
 // renderTop writes the fleet summary line followed by the per-worker table.
-func renderTop(out io.Writer, workers []cluster.WorkerInfo) error {
+func renderTop(out io.Writer, workers []cluster.WorkerInfo, lat latencySummary) error {
 	var (
 		live      int
 		leases    int
@@ -82,6 +83,7 @@ func renderTop(out io.Writer, workers []cluster.WorkerInfo) error {
 	} else {
 		fmt.Fprintln(out, "telemetry: no samples yet (workers report on their first heartbeat)")
 	}
+	renderLatency(out, lat)
 	if len(workers) == 0 {
 		fmt.Fprintln(out, "no workers registered (standalone daemon, or none have polled yet)")
 		return nil

@@ -88,3 +88,71 @@ func TestTopFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestParseLatency pins the client-side bucket-quantile math against a
+// canned exposition page.
+func TestParseLatency(t *testing.T) {
+	// 100 observations: 90 under 10ms, 9 more under 100ms, 1 under 1s.
+	// rank(p99) = 99 -> the le="0.1" bucket.
+	text := `# TYPE rumor_job_latency_segment_seconds histogram
+rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="0.01"} 90
+rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="0.1"} 99
+rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="1"} 100
+rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="+Inf"} 100
+rumor_job_latency_segment_seconds_bucket{segment="execute",le="+Inf"} 100
+rumor_saturated 1
+`
+	s := parseLatency(text)
+	if !s.ok || s.count != 100 {
+		t.Fatalf("parse failed: %+v", s)
+	}
+	if s.p99 != 0.1 || s.inOverflow {
+		t.Errorf("p99 bound = %g (overflow %v), want 0.1", s.p99, s.inOverflow)
+	}
+	if !s.saturated {
+		t.Error("rumor_saturated 1 not picked up")
+	}
+
+	// All mass past the last finite bucket: the bound degrades to ">last".
+	over := parseLatency(`rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="0.01"} 0
+rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="+Inf"} 5
+`)
+	if !over.ok || !over.inOverflow || over.p99 != 0.01 {
+		t.Errorf("overflow case: %+v, want inOverflow with bound 0.01", over)
+	}
+
+	// No queue-wait series at all (segments disabled).
+	if s := parseLatency("rumor_jobs_total 3\n"); s.ok {
+		t.Errorf("parse of a page without segment buckets claimed ok: %+v", s)
+	}
+}
+
+// TestTopLatencyLine serves both the worker registry and a /metrics page
+// and checks the dashboard renders the queue-wait p99 line with the
+// saturation marker.
+func TestTopLatencyLine(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"workers":[],"count":0}`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="0.25"} 99
+rumor_job_latency_segment_seconds_bucket{segment="queue_wait",le="+Inf"} 100
+rumor_saturated 1
+`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := runTop([]string{"-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("runTop: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"queue-wait p99 <=250ms", "(100 jobs)", "[SATURATED]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -113,6 +113,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		journalMax   = fs.Int64("journal-max-bytes", 64<<20, "rotate -journal-file to .1 once it would exceed this size (0: never rotate)")
 		sseHeartbeat = fs.Duration("sse-heartbeat", 15*time.Second, "idle keep-alive cadence of the /v1/jobs/{id}/events stream")
 		dataDir      = fs.String("data-dir", "", "durable store directory: job WAL + result blobs, replayed on restart (empty: in-memory only)")
+		satBudget    = fs.Duration("saturation-budget", 2*time.Second, "queue-wait p99 budget: exceeding it over -saturation-window flips /readyz degraded and rumor_saturated (0: disable)")
+		satWindow    = fs.Duration("saturation-window", 30*time.Second, "sliding window the saturation detector evaluates the queue-wait p99 over")
 		walSync      = fs.String("wal-sync", "100ms", `WAL durability with -data-dir: "always", "none", or a batched-fsync interval`)
 		storeMax     = fs.Int64("store-max-bytes", 1<<30, "result-store size bound, oldest blobs evicted first (0: unbounded)")
 
@@ -175,6 +177,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		return cli.Usagef("-sse-heartbeat = %s must be positive", *sseHeartbeat)
 	case *storeMax < 0:
 		return cli.Usagef("-store-max-bytes = %d must be non-negative", *storeMax)
+	case *satBudget < 0:
+		return cli.Usagef("-saturation-budget = %s must be non-negative", *satBudget)
+	case *satWindow <= 0:
+		return cli.Usagef("-saturation-window = %s must be positive", *satWindow)
 	case *leaseTTL <= 0:
 		return cli.Usagef("-lease-ttl = %s must be positive", *leaseTTL)
 	case *maxAttempts < 1:
@@ -245,6 +251,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	if logEvery == 0 {
 		logEvery = -1 // Config treats 0 as "use the default"; negative disables.
 	}
+	budget := *satBudget
+	if budget == 0 {
+		budget = -1 // same flag-zero-disables convention as -progress-log-every
+	}
 
 	// The journal mirror appends across restarts (history extends, never
 	// truncates) and rotates to .1 at the size cap so a chatty daemon
@@ -277,6 +287,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		JournalSink:      journalSink,
 		SSEHeartbeat:     *sseHeartbeat,
 		StoreDir:         *dataDir,
+		SaturationBudget: budget,
+		SaturationWindow: *satWindow,
 		StoreOptions: store.Options{
 			SyncMode:       syncMode,
 			SyncInterval:   syncInterval,

@@ -1,0 +1,239 @@
+// Command rumorload drives rumord with open-loop load and reports
+// coordinated-omission-correct latency quantiles (DESIGN.md §14).
+//
+// It offers POST /v1/jobs requests at each configured rate for a fixed
+// window — the schedule is set before the server answers anything, so a
+// stalling server cannot slow the offered rate — and measures every
+// latency from the request's scheduled send time. Per phase it reports
+// offered vs achieved rate, cache hits, the server's own saturation
+// verdict (the rumor_saturated gauge), and p50/p90/p99/p999 for the
+// submit round trip, the end-to-end submit→terminal path, and the three
+// server-attributed segments (queue wait, execute, serialize).
+//
+// Usage:
+//
+//	rumorload -target http://host:8080 [flags]
+//	rumorload -selfhost [flags]
+//
+// Examples:
+//
+//	rumorload -selfhost -rates 10,25,50,100 -duration 10s
+//	rumorload -target http://localhost:8080 -mix ode=3,threshold=1 -hot 0.8
+//	rumorload -selfhost -scenario loadtiny -rates 200,400 -out BENCH_PR9.json
+//
+// -selfhost starts an in-process rumord on a loopback port (the same
+// handler stack the daemon serves) so a sweep is reproducible with one
+// command and no running daemon. The artifact written by -out follows the
+// repo's BENCH JSON conventions; scripts/benchdiff.sh diffs its p99
+// fields with the same 5% gate it applies to ns_per_op.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rumornet/internal/cli"
+	"rumornet/internal/loadgen"
+	"rumornet/internal/service"
+)
+
+func main() {
+	os.Exit(cli.Exit("rumorload", run(os.Args[1:], os.Stdout)))
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("rumorload", flag.ContinueOnError)
+	var (
+		target   = fs.String("target", "", "rumord base URL to load (mutually exclusive with -selfhost)")
+		selfhost = fs.Bool("selfhost", false, "start an in-process rumord on a loopback port and load that")
+		workers  = fs.Int("selfhost-workers", 2, "worker pool size for -selfhost")
+		budget   = fs.Duration("selfhost-saturation-budget", 2*time.Second, "queue-wait p99 budget for -selfhost (0: disable the detector)")
+		rates    = fs.String("rates", "10,25,50,100", "comma-separated offered rates (requests/second), one phase each")
+		duration = fs.Duration("duration", 10*time.Second, "dispatch window per phase")
+		mix      = fs.String("mix", "ode=1", "job-type mix as type=weight pairs (types: ode, threshold, abm, fbsm)")
+		hot      = fs.Float64("hot", 0.5, "fraction of requests drawn from the hot key set (cache-hot); the rest never repeat a key")
+		hotKeys  = fs.Int("hot-keys", 8, "size of the hot key set")
+		scenario = fs.String("scenario", "", "scenario name to register (600-node degree mix) and target; empty targets the built-in Digg2009 scenario")
+		outPath  = fs.String("out", "", "write the BENCH-style JSON artifact here (default: stdout)")
+		suite    = fs.String("suite", "rumorload", "artifact suite label")
+		note     = fs.String("note", "", "free-form note recorded in the artifact header")
+		poll     = fs.Duration("poll", 2*time.Millisecond, "GET /v1/jobs/{id} poll interval")
+		inflight = fs.Int("inflight", 512, "bound on concurrently outstanding requests (waiting for a slot still counts as latency)")
+	)
+	lf := cli.AddLogFlags(fs)
+	if err := cli.WrapParse(fs.Parse(args)); err != nil {
+		return err
+	}
+	// A sweep drives hundreds of jobs per second; the embedded daemon's
+	// per-job INFO lines would drown the phase reports, so quiet it to
+	// warn unless the operator asked for a level explicitly.
+	logLevelSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "log-level" {
+			logLevelSet = true
+		}
+	})
+	if !logLevelSet {
+		*lf.Level = "warn"
+	}
+	lg, err := lf.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+
+	if (*target == "") == !*selfhost {
+		return cli.Usagef("exactly one of -target or -selfhost is required")
+	}
+	if *duration <= 0 {
+		return cli.Usagef("-duration must be positive, got %s", *duration)
+	}
+	if *hot < 0 || *hot > 1 {
+		return cli.Usagef("-hot must be in [0,1], got %g", *hot)
+	}
+	phases, err := parseRates(*rates, *duration)
+	if err != nil {
+		return err
+	}
+	mixEntries, mixLabel, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	baseURL := *target
+	if *selfhost {
+		satBudget := *budget
+		if satBudget == 0 {
+			satBudget = -1 // Config semantics: negative disables, zero means default
+		}
+		svc, err := service.New(service.Config{
+			Workers:          *workers,
+			SaturationBudget: satBudget,
+			Logger:           lg,
+		})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("selfhost listen: %w", err)
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln) //nolint:errcheck
+		defer srv.Close()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "rumorload: selfhost rumord on %s (%d workers)\n", ln.Addr(), *workers)
+	}
+
+	g := loadgen.New(loadgen.Config{
+		BaseURL:      baseURL,
+		Mix:          mixEntries,
+		Scenario:     *scenario,
+		HotFraction:  *hot,
+		HotKeys:      *hotKeys,
+		MaxInFlight:  *inflight,
+		PollInterval: *poll,
+		Progress:     os.Stderr,
+	})
+	if err := g.EnsureScenario(ctx); err != nil {
+		return err
+	}
+	res, err := g.Run(ctx, phases)
+	if err != nil {
+		return err
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := loadgen.WriteArtifact(w, *suite, *note, mixLabel, *hot, res); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		fmt.Fprintf(os.Stderr, "rumorload: wrote %s (%d phases)\n", *outPath, len(res.Phases))
+	}
+	return nil
+}
+
+// parseRates turns "10,25,50" into one phase per rate, named r<rate>.
+func parseRates(s string, d time.Duration) ([]loadgen.Phase, error) {
+	var phases []loadgen.Phase
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			return nil, cli.Usagef("-rates: %q is not a positive rate", part)
+		}
+		phases = append(phases, loadgen.Phase{
+			Name:     "r" + strings.TrimSuffix(strconv.FormatFloat(r, 'f', -1, 64), ".0"),
+			Rate:     r,
+			Duration: d,
+		})
+	}
+	if len(phases) == 0 {
+		return nil, cli.Usagef("-rates: no rates given")
+	}
+	return phases, nil
+}
+
+// parseMix turns "ode=3,threshold=1" into weighted entries plus a
+// canonical label for the artifact header.
+func parseMix(s string) ([]loadgen.MixEntry, string, error) {
+	valid := map[string]bool{"ode": true, "threshold": true, "abm": true, "fbsm": true}
+	weights := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		typ, wstr, found := strings.Cut(part, "=")
+		w := 1
+		if found {
+			var err error
+			if w, err = strconv.Atoi(wstr); err != nil || w < 1 {
+				return nil, "", cli.Usagef("-mix: %q has no positive integer weight", part)
+			}
+		}
+		if !valid[typ] {
+			return nil, "", cli.Usagef("-mix: unknown job type %q (want ode, threshold, abm or fbsm)", typ)
+		}
+		weights[typ] += w
+	}
+	if len(weights) == 0 {
+		return nil, "", cli.Usagef("-mix: no entries")
+	}
+	types := make([]string, 0, len(weights))
+	for typ := range weights {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	var entries []loadgen.MixEntry
+	var labels []string
+	for _, typ := range types {
+		entries = append(entries, loadgen.MixEntry{Type: typ, Weight: weights[typ]})
+		labels = append(labels, fmt.Sprintf("%s=%d", typ, weights[typ]))
+	}
+	return entries, strings.Join(labels, ","), nil
+}

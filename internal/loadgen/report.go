@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// WriteArtifact renders a sweep as a BENCH-style JSON artifact
+// (scripts/loadgen.sh → BENCH_PR9.json). The shape follows the repo's
+// bench.sh conventions: machine-readable header, then one entry per line
+// inside each array so scripts/benchdiff.sh can parse it line-oriented —
+// the "latency" entries carry phase+endpoint+p99_ms on a single line,
+// which is what the p99 regression gate keys on.
+func WriteArtifact(w io.Writer, suite, note, mix string, hotFraction float64, res *Result) error {
+	now := time.Now().UTC().Format(time.RFC3339)
+	fmt.Fprintf(w, "{\n")
+	fmt.Fprintf(w, "  %q: %q,\n", "suite", suite)
+	fmt.Fprintf(w, "  %q: %q,\n", "date", now)
+	fmt.Fprintf(w, "  %q: %q,\n", "go", runtime.Version())
+	fmt.Fprintf(w, "  %q: %q,\n", "goos", runtime.GOOS)
+	fmt.Fprintf(w, "  %q: %q,\n", "goarch", runtime.GOARCH)
+	fmt.Fprintf(w, "  %q: %d,\n", "cpus", runtime.NumCPU())
+	fmt.Fprintf(w, "  %q: %d,\n", "gomaxprocs", runtime.GOMAXPROCS(0))
+	if note != "" {
+		fmt.Fprintf(w, "  %q: %q,\n", "note", note)
+	}
+	fmt.Fprintf(w, "  %q: %q,\n", "target", res.Target)
+	fmt.Fprintf(w, "  %q: %q,\n", "mix", mix)
+	fmt.Fprintf(w, "  %q: %g,\n", "hot_fraction", hotFraction)
+
+	fmt.Fprintf(w, "  %q: [\n", "phases")
+	for i, ph := range res.Phases {
+		line, err := json.Marshal(struct {
+			Phase       string  `json:"phase"`
+			OfferedRPS  float64 `json:"offered_rps"`
+			AchievedRPS float64 `json:"achieved_rps"`
+			DurationS   float64 `json:"duration_s"`
+			DrainS      float64 `json:"drain_s"`
+			Requests    int64   `json:"requests"`
+			Completed   int64   `json:"completed"`
+			CacheHits   int64   `json:"cache_hits"`
+			Rejected    int64   `json:"rejected"`
+			Errors      int64   `json:"errors"`
+			Saturated   bool    `json:"saturated"`
+		}{ph.Phase, round2(ph.OfferedRPS), round2(ph.AchievedRPS), round2(ph.DurationS),
+			round2(ph.DrainS), ph.Requests, ph.Completed, ph.CacheHits, ph.Rejected, ph.Errors, ph.Saturated})
+		if err != nil {
+			return err
+		}
+		comma := ","
+		if i == len(res.Phases)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "    %s%s\n", line, comma)
+	}
+	fmt.Fprintf(w, "  ],\n")
+
+	fmt.Fprintf(w, "  %q: [\n", "latency")
+	type flat struct {
+		Phase string `json:"phase"`
+		EndpointStats
+	}
+	var flats []flat
+	for _, ph := range res.Phases {
+		for _, ep := range ph.Endpoints {
+			ep.MeanMS, ep.P50MS, ep.P90MS = round4(ep.MeanMS), round4(ep.P50MS), round4(ep.P90MS)
+			ep.P99MS, ep.P999MS, ep.MaxMS = round4(ep.P99MS), round4(ep.P999MS), round4(ep.MaxMS)
+			ep.RelErrPct = round4(ep.RelErrPct)
+			flats = append(flats, flat{ph.Phase, ep})
+		}
+	}
+	for i, f := range flats {
+		line, err := json.Marshal(f)
+		if err != nil {
+			return err
+		}
+		comma := ","
+		if i == len(flats)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "    %s%s\n", line, comma)
+	}
+	fmt.Fprintf(w, "  ]\n}\n")
+	return nil
+}
+
+func round2(v float64) float64 { return roundTo(v, 100) }
+func round4(v float64) float64 { return roundTo(v, 10000) }
+
+func roundTo(v, scale float64) float64 {
+	if v >= 0 {
+		return float64(int64(v*scale+0.5)) / scale
+	}
+	return float64(int64(v*scale-0.5)) / scale
+}

@@ -70,6 +70,10 @@ func writeSeries(w *bufio.Writer, f *family, s *series) {
 		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(s.labels, &le), cum)
 		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s.labels, nil), formatFloat(s.h.Sum()))
 		fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels, nil), cum)
+		// Companion counter: observations above the last explicit bound.
+		// Silent clamping into +Inf hides a bucket layout that no longer
+		// covers the distribution; this makes it alertable.
+		fmt.Fprintf(w, "%s_overflow_total%s %d\n", f.name, labelString(s.labels, nil), s.h.Overflow())
 	}
 }
 

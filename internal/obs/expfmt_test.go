@@ -101,7 +101,10 @@ func TestExpositionWellFormed(t *testing.T) {
 		if i := strings.IndexByte(key, '{'); i >= 0 {
 			name = key[:i]
 		}
-		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count", "_overflow_total"} {
+			base = strings.TrimSuffix(base, suf)
+		}
 		if !typed[name] && !typed[base] {
 			t.Errorf("sample %q before its TYPE line", line)
 		}
@@ -130,5 +133,31 @@ func TestExpositionWellFormed(t *testing.T) {
 	}
 	if got := countSamples[`rumor_job_duration_seconds_count{type="ode"}`]; got != 5 {
 		t.Errorf("_count = %d, want 5 (keys: %v)", got, countSamples)
+	}
+}
+
+// TestHistogramOverflow verifies over-range observations are counted and
+// exported instead of silently clamping into +Inf: the golden registry's
+// histogram has explicit bounds up to 2.5 and observes a 10.
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.5, 2.5})
+	for _, v := range []float64{0.05, 0.1, 0.3, 1, 10} {
+		h.Observe(v)
+	}
+	if got := h.Overflow(); got != 1 {
+		t.Errorf("Overflow() = %d, want 1 (only the 10 is past the last bound)", got)
+	}
+	h.Observe(2.5) // exactly on the bound: le semantics, not an overflow
+	if got := h.Overflow(); got != 1 {
+		t.Errorf("Overflow() after boundary observation = %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `rumor_job_duration_seconds_overflow_total{type="ode"} 1`
+	if !strings.Contains(sb.String(), want+"\n") {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
 	}
 }

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// HDR is a log-bucketed high-dynamic-range histogram for latency
+// recording (internal/loadgen, the service's saturation window). Unlike
+// the fixed-bucket Histogram — whose ~18 hand-picked bounds are right for
+// a Prometheus scrape but far too coarse for quantile reporting — an HDR
+// covers its whole [Min, Max) value range with buckets of bounded
+// *relative* width: each power of two is subdivided into `sub` linear
+// sub-buckets, so every bucket spans at most a factor (1 + 1/sub) and a
+// quantile read off the histogram is within RelativeError() of the exact
+// sample quantile, at any scale from microseconds to minutes. This is the
+// same log-linear layout as HdrHistogram (Gil Tene's coordinated-omission
+// work), restated over float64 seconds.
+//
+// Counts are exact integers, so two HDRs with the same layout merge
+// losslessly (Merge): per-worker recorders in the load generator combine
+// into one distribution with no re-sampling error.
+//
+// The zero value is not usable; call NewHDR. HDR is NOT safe for
+// concurrent use — record into per-goroutine instances and Merge, or wrap
+// with a lock (the service's saturation window does the latter).
+type HDR struct {
+	min, max float64
+	sub      int
+	minExp   int // exponent of the first tracked power of two
+	nExp     int // number of tracked powers of two
+	counts   []int64
+
+	total      int64
+	sum        float64
+	vmin, vmax float64 // exact extremes of in-range + clamped observations
+	under      int64   // observations below min, clamped into the first bucket
+	over       int64   // observations at/above max, clamped into the last bucket
+}
+
+// DefaultLatencyHDR returns the layout used for end-to-end request
+// latencies: 1µs to ~2048s at under 1% relative error (128 sub-buckets
+// per power of two; ~4k buckets, 32 KiB).
+func DefaultLatencyHDR() *HDR { return NewHDR(1e-6, 2048, 128) }
+
+// NewHDR builds an HDR covering [min, max) with `sub` linear sub-buckets
+// per power of two. min and max must be positive with min < max; sub must
+// be at least 1 (relative error 1/sub — 128 gives <1%). Malformed layouts
+// panic: a programmer error caught at construction.
+func NewHDR(min, max float64, sub int) *HDR {
+	switch {
+	case !(min > 0) || math.IsInf(min, 0):
+		panic(fmt.Sprintf("obs: HDR min %g must be positive and finite", min))
+	case !(max > min) || math.IsInf(max, 0):
+		panic(fmt.Sprintf("obs: HDR max %g must be finite and above min %g", max, min))
+	case sub < 1:
+		panic(fmt.Sprintf("obs: HDR sub-bucket count %d must be at least 1", sub))
+	}
+	minExp := ilogb2(min)
+	maxExp := ilogb2(max)
+	h := &HDR{
+		min: min, max: max, sub: sub,
+		minExp: minExp,
+		nExp:   maxExp - minExp + 1,
+	}
+	h.counts = make([]int64, h.nExp*sub)
+	return h
+}
+
+// ilogb2 returns floor(log2(v)) for positive finite v.
+func ilogb2(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	_ = frac
+	return exp - 1
+}
+
+// bucket maps a positive value to its bucket index, clamping out-of-range
+// values into the first/last bucket.
+func (h *HDR) bucket(v float64) int {
+	if v < h.min {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // frac in [0.5, 1)
+	m := 2*frac - 1            // mantissa offset in [0, 1)
+	e := exp - 1 - h.minExp    // power-of-two slot
+	i := e*h.sub + int(m*float64(h.sub))
+	if i >= len(h.counts) {
+		return len(h.counts) - 1
+	}
+	return i
+}
+
+// Record adds one observation. Non-positive and NaN values clamp into the
+// first bucket (a latency of exactly 0 is a timer-resolution artifact, not
+// a signal); values at or above Max clamp into the last bucket and are
+// additionally counted in Overflow, so a saturated tail is visible rather
+// than silently truncated.
+func (h *HDR) Record(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	switch {
+	case v < h.min:
+		h.under++
+		h.counts[0]++
+	case v >= h.max:
+		h.over++
+		h.counts[len(h.counts)-1]++
+	default:
+		h.counts[h.bucket(v)]++
+	}
+	h.total++
+	h.sum += v
+	if h.total == 1 || v < h.vmin {
+		h.vmin = v
+	}
+	if v > h.vmax {
+		h.vmax = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *HDR) Count() int64 { return h.total }
+
+// Sum returns the sum of all observations.
+func (h *HDR) Sum() float64 { return h.sum }
+
+// Mean returns the exact arithmetic mean (0 before any observation).
+func (h *HDR) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the exact extreme observations (0 when empty).
+func (h *HDR) Min() float64 { return h.vmin }
+func (h *HDR) Max() float64 { return h.vmax }
+
+// Overflow returns the number of observations clamped into the last
+// bucket because they were at or above the layout's Max; Underflow the
+// ones below Min clamped into the first.
+func (h *HDR) Overflow() int64  { return h.over }
+func (h *HDR) Underflow() int64 { return h.under }
+
+// RelativeError is the worst-case relative half-width of one bucket: a
+// quantile estimate is within this factor of the exact sample quantile
+// (for in-range values; clamped ones are pinned to the exact Min/Max).
+func (h *HDR) RelativeError() float64 { return 1 / float64(h.sub) }
+
+// bucketBounds returns the [lo, hi) value range of bucket i.
+func (h *HDR) bucketBounds(i int) (lo, hi float64) {
+	e := i / h.sub
+	s := i % h.sub
+	scale := math.Ldexp(1, h.minExp+e) // 2^(minExp+e)
+	lo = scale * (1 + float64(s)/float64(h.sub))
+	hi = scale * (1 + float64(s+1)/float64(h.sub))
+	return lo, hi
+}
+
+// Quantile estimates the p-quantile (p in [0, 1]) as the midpoint of the
+// bucket holding the target rank, clamped to the exact observed [Min,
+// Max]. Returns 0 before any observation. The estimate is within
+// RelativeError of the exact sample quantile; QuantileBounds returns the
+// hard interval.
+func (h *HDR) Quantile(p float64) float64 {
+	lo, hi := h.QuantileBounds(p)
+	mid := (lo + hi) / 2
+	if mid < h.vmin {
+		mid = h.vmin
+	}
+	if mid > h.vmax {
+		mid = h.vmax
+	}
+	return mid
+}
+
+// QuantileBounds returns the value interval [lo, hi] guaranteed to
+// contain the exact p-quantile of the recorded samples: the bounds of the
+// bucket holding the target rank, tightened by the exact observed
+// extremes. Returns (0, 0) before any observation.
+func (h *HDR) QuantileBounds(p float64) (lo, hi float64) {
+	if h.total == 0 {
+		return 0, 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	// Rank-based definition: the k-th smallest sample with
+	// k = max(1, ceil(p·n)) — p=0 is the minimum, p=1 the maximum.
+	rank := int64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	// The extreme ranks are the exact tracked extremes — this is what keeps
+	// the p=1 (and p=0) report honest even when the sample was clamped into
+	// an out-of-range bucket.
+	if rank == 1 {
+		return h.vmin, h.vmin
+	}
+	if rank == h.total {
+		return h.vmax, h.vmax
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			lo, hi = h.bucketBounds(i)
+			// The exact extremes tighten the bucket: clamped samples (and
+			// the open-ended last bucket) stay bounded by reality.
+			if lo < h.vmin {
+				lo = h.vmin
+			}
+			if hi > h.vmax {
+				hi = h.vmax
+			}
+			if lo > hi {
+				lo = hi
+			}
+			return lo, hi
+		}
+	}
+	return h.vmax, h.vmax // unreachable: cum == total >= rank
+}
+
+// Merge adds other's counts into h. The layouts must be identical
+// (same min, max and sub-bucket count) — counts are exact integers, so
+// the merge is lossless and Quantile over the merged histogram equals
+// Quantile over a single histogram fed both streams.
+func (h *HDR) Merge(other *HDR) error {
+	if other == nil {
+		return nil
+	}
+	if h.min != other.min || h.max != other.max || h.sub != other.sub {
+		return fmt.Errorf("obs: HDR layout mismatch: [%g, %g)/%d vs [%g, %g)/%d",
+			h.min, h.max, h.sub, other.min, other.max, other.sub)
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if other.total > 0 {
+		if h.total == 0 || other.vmin < h.vmin {
+			h.vmin = other.vmin
+		}
+		if other.vmax > h.vmax {
+			h.vmax = other.vmax
+		}
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.under += other.under
+	h.over += other.over
+	return nil
+}
+
+// Reset zeroes every count, keeping the layout — the saturation window
+// recycles epochs this way instead of reallocating 32 KiB per rotation.
+func (h *HDR) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum = 0, 0
+	h.vmin, h.vmax = 0, 0
+	h.under, h.over = 0, 0
+}
+
+// Clone returns an independent copy (same layout, same counts).
+func (h *HDR) Clone() *HDR {
+	c := NewHDR(h.min, h.max, h.sub)
+	c.Merge(h) //nolint:errcheck // identical layout by construction
+	return c
+}

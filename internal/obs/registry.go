@@ -297,6 +297,14 @@ func (h *Histogram) Sum() float64 { return h.sum.load() }
 // Max returns the largest observation (0 before any observation).
 func (h *Histogram) Max() float64 { return h.max.load() }
 
+// Overflow returns the number of observations above the highest explicit
+// bucket bound — the ones the fixed layout can only clamp into the +Inf
+// bucket. A nonzero overflow means the bucket layout no longer covers the
+// distribution and quantile reads above it are pinned to Max; the registry
+// exports it as a companion <name>_overflow_total counter so the condition
+// is visible on a scrape instead of silently degrading accuracy.
+func (h *Histogram) Overflow() int64 { return h.counts[len(h.upper)].Load() }
+
 // Quantile estimates the p-quantile (p in [0, 1]) by linear interpolation
 // inside the bucket holding the target rank, the same estimate
 // Prometheus's histogram_quantile computes. Samples in the +Inf overflow

@@ -308,6 +308,9 @@ func (s *Service) DegradedReasons() []string {
 	if n := s.met.walErrors.Value(); n > 0 {
 		reasons = append(reasons, fmt.Sprintf("durable store reported %d append/fsync errors", n))
 	}
+	if s.sat != nil && s.sat.Saturated() {
+		reasons = append(reasons, s.sat.reason())
+	}
 	return reasons
 }
 
@@ -397,7 +400,11 @@ func (s *Service) grantLease(r *jobRecord, workerID string) *LeasedJob {
 	s.walAttempt(r.job.ID, attempt)
 	s.mu.Unlock()
 
-	s.met.queueWait.Observe(start.Sub(r.job.SubmittedAt).Seconds())
+	queueWait := start.Sub(r.job.SubmittedAt)
+	s.met.queueWait.Observe(queueWait.Seconds())
+	if s.sat != nil {
+		s.sat.observe(queueWait, start)
+	}
 	s.met.running.Inc()
 	s.journal.Append(journal.Entry{
 		JobID: r.job.ID, TraceID: r.job.TraceID,
@@ -470,6 +477,10 @@ func (s *Service) CompleteLease(id string, res ResultRequest) (Job, error) {
 	if s.table == nil {
 		return Job{}, fmt.Errorf("%w: not a coordinator", ErrNotFound)
 	}
+	// Upload arrival closes the execute segment: the coordinator cannot see
+	// inside the worker's wall clock, so lease-grant -> arrival (network
+	// hop included) is what "execute" means in cluster mode (latency.go).
+	arrive := time.Now()
 	st := Status(res.Status)
 	if !st.Terminal() || !validStatus(st) {
 		return Job{}, fmt.Errorf("%w: status %q is not terminal (want succeeded, failed or cancelled)", ErrBadRequest, res.Status)
@@ -526,6 +537,13 @@ func (s *Service) CompleteLease(id string, res ResultRequest) (Job, error) {
 	elapsed := fin.Sub(from)
 	r.job.FinishedAt = &fin
 	r.job.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if s.met.segments != nil && started != nil {
+		r.job.Latency = &JobLatency{
+			QueueWaitMS: float64(started.Sub(r.job.SubmittedAt)) / float64(time.Millisecond),
+			ExecuteMS:   float64(arrive.Sub(*started)) / float64(time.Millisecond),
+			SerializeMS: float64(fin.Sub(arrive)) / float64(time.Millisecond),
+		}
+	}
 	r.job.Status = st
 	switch st {
 	case StatusSucceeded:
@@ -545,6 +563,9 @@ func (s *Service) CompleteLease(id string, res ResultRequest) (Job, error) {
 	s.met.running.Dec()
 	s.met.outcome(st)
 	s.met.observe(r.job.Type, elapsed)
+	if started != nil {
+		s.met.segmentObserve(started.Sub(job.SubmittedAt), arrive.Sub(*started), fin.Sub(arrive))
+	}
 	s.met.workerLatency(lease.Worker, elapsed)
 	msg := "finished: " + string(st)
 	if res.Error != "" {

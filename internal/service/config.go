@@ -86,6 +86,21 @@ type Config struct {
 	// worker pool, jobs execute on remote worker nodes under fenced leases
 	// (see cluster.go and DESIGN.md §12).
 	Cluster ClusterConfig
+	// SaturationBudget is the queue-wait p99 budget: when the p99 dwell
+	// time over the sliding SaturationWindow exceeds it, the service
+	// reports saturated (rumor_saturated gauge, /readyz degraded reason)
+	// so load balancers shed before timeouts pile up (default 2s;
+	// negative disables the detector). See DESIGN.md §14.
+	SaturationBudget time.Duration
+	// SaturationWindow is the sliding window the saturation detector
+	// evaluates over (default 30s). Implemented as two rotating epochs, so
+	// the visible history spans between half and the full window.
+	SaturationWindow time.Duration
+	// DisableSegmentMetrics turns off the per-segment latency histograms
+	// (rumor_job_latency_segment_seconds) and per-job attribution fields.
+	// Exists so the segments-off/on benchmark pair can price the hooks;
+	// production keeps them on.
+	DisableSegmentMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +146,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEHeartbeat <= 0 {
 		c.SSEHeartbeat = 15 * time.Second
+	}
+	if c.SaturationBudget == 0 {
+		c.SaturationBudget = 2 * time.Second
+	} else if c.SaturationBudget < 0 {
+		c.SaturationBudget = 0 // explicit disable
+	}
+	if c.SaturationWindow <= 0 {
+		c.SaturationWindow = 30 * time.Second
 	}
 	c.Cluster = c.Cluster.withDefaults()
 	return c

@@ -263,6 +263,10 @@ type Job struct {
 	// ElapsedMS is the execution latency (start to finish) in
 	// milliseconds; 0 for cache hits.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Latency attributes the end-to-end latency to queue-wait/execute/
+	// serialize segments (latency.go); populated on terminal statuses of
+	// executed jobs, nil for cache hits and while running.
+	Latency *JobLatency `json:"latency,omitempty"`
 	// Progress is the latest solver checkpoint of a running job; the final
 	// checkpoint is retained once the job finishes. Nil for cache hits,
 	// queued jobs, and job types that finished before the first checkpoint.

@@ -102,6 +102,9 @@ type Service struct {
 	// store is the durable WAL + result store (nil without Config.StoreDir).
 	// Set once in New before the workers start, never mutated after.
 	store *store.Store
+	// sat is the queue-wait saturation detector (latency.go); nil when
+	// Config.SaturationBudget disabled it. Set once in New.
+	sat *satWindow
 	// table is the cluster lease table + worker registry (nil unless
 	// Config.Cluster.Enabled). Set once in New, never mutated after. Lock
 	// order: Service.mu before table's internal mutex, and the table never
@@ -146,7 +149,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:       cfg,
 		scenarios: newRegistry(),
 		cache:     newResultCache(cfg.CacheEntries),
-		met:       newMetrics(),
+		met:       newMetrics(cfg.DisableSegmentMetrics),
 		tracer:    trace.New(cfg.TraceSpans),
 		journal:   journal.New(cfg.JournalEntries, cfg.JournalSink),
 		jobs:      make(map[string]*jobRecord),
@@ -155,6 +158,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.Cluster.Enabled {
 		s.table = cluster.New(cfg.Cluster.LeaseTTL, cfg.Cluster.WorkerLiveness, nil)
+	}
+	if cfg.SaturationBudget > 0 {
+		s.sat = newSatWindow(cfg.SaturationBudget, cfg.SaturationWindow)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
@@ -714,7 +720,11 @@ func (s *Service) runJob(r *jobRecord) {
 	s.mu.Unlock()
 	defer cancel()
 
-	s.met.queueWait.Observe(start.Sub(r.job.SubmittedAt).Seconds())
+	queueWait := start.Sub(r.job.SubmittedAt)
+	s.met.queueWait.Observe(queueWait.Seconds())
+	if s.sat != nil {
+		s.sat.observe(queueWait, start)
+	}
 	s.met.running.Inc()
 	defer s.met.running.Dec()
 
@@ -727,6 +737,7 @@ func (s *Service) runJob(r *jobRecord) {
 		float64(start.Sub(r.job.SubmittedAt))/float64(time.Millisecond))
 
 	payload, err := execute(ctx, r.sc, r.req, sink)
+	execDone := time.Now() // everything after is the serialize segment
 	var raw json.RawMessage
 	if err == nil {
 		raw, err = json.Marshal(payload)
@@ -752,6 +763,13 @@ func (s *Service) runJob(r *jobRecord) {
 	elapsed := fin.Sub(start)
 	r.job.FinishedAt = &fin
 	r.job.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if s.met.segments != nil {
+		r.job.Latency = &JobLatency{
+			QueueWaitMS: float64(queueWait) / float64(time.Millisecond),
+			ExecuteMS:   float64(execDone.Sub(start)) / float64(time.Millisecond),
+			SerializeMS: float64(fin.Sub(execDone)) / float64(time.Millisecond),
+		}
+	}
 	shutdownCancel := false
 	switch {
 	case err == nil:
@@ -790,6 +808,7 @@ func (s *Service) runJob(r *jobRecord) {
 
 	s.met.outcome(status)
 	s.met.observe(jobType, elapsed)
+	s.met.segmentObserve(queueWait, execDone.Sub(start), fin.Sub(execDone))
 	msg := "finished: " + string(status)
 	if errMsg != "" {
 		msg += ": " + errMsg

@@ -102,8 +102,11 @@ type metrics struct {
 
 	latency   map[JobType]*obs.Histogram // execution latency per job type
 	queueWait *obs.Histogram
-	abmStep   *obs.Histogram // per-sweep wall time from StageABM events
-	running   *obs.Gauge     // jobs currently executing (busy workers)
+	// segments decomposes end-to-end job latency (latency.go); nil when
+	// Config.DisableSegmentMetrics benched the hooks away.
+	segments map[string]*obs.Histogram
+	abmStep  *obs.Histogram // per-sweep wall time from StageABM events
+	running  *obs.Gauge     // jobs currently executing (busy workers)
 
 	httpRequests map[string]*obs.Counter // by method; code recorded per call
 	httpDuration *obs.Histogram
@@ -133,7 +136,7 @@ var walBuckets = []float64{
 	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1,
 }
 
-func newMetrics() *metrics {
+func newMetrics(disableSegments bool) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{
 		reg: reg,
@@ -177,6 +180,14 @@ func newMetrics() *metrics {
 		m.invariants[check] = reg.Counter("rumor_invariant_violations_total",
 			"Numerical invariant violations detected by the per-job monitors.",
 			obs.L("check", check))
+	}
+	if !disableSegments {
+		m.segments = map[string]*obs.Histogram{}
+		for _, seg := range []string{segQueueWait, segExecute, segSerialize} {
+			m.segments[seg] = reg.Histogram("rumor_job_latency_segment_seconds",
+				"End-to-end job latency decomposed into queue-wait/execute/serialize segments (DESIGN.md §14).",
+				queueWaitBuckets, obs.L("segment", seg))
+		}
 	}
 	m.sseClients = reg.Gauge("rumor_sse_clients",
 		"Live GET /v1/jobs/{id}/events streams.")
@@ -242,6 +253,19 @@ func (m *metrics) registerDerived(s *Service) {
 			}
 			return 1
 		})
+	if s.sat != nil {
+		m.reg.GaugeFunc("rumor_saturated",
+			"1 while the queue-wait p99 over the sliding window exceeds the configured budget, else 0.",
+			func() float64 {
+				if s.sat.Saturated() {
+					return 1
+				}
+				return 0
+			})
+		m.reg.GaugeFunc("rumor_queue_wait_window_p99_seconds",
+			"Queue-wait p99 over the saturation detector's sliding window.",
+			func() float64 { return s.sat.p99() })
+	}
 	m.reg.GaugeFunc("rumor_journal_entries",
 		"Flight-recorder entries resident across all jobs.",
 		func() float64 { return float64(s.journal.TotalLen()) })

@@ -1,5 +1,6 @@
 #!/bin/sh
-# benchdiff.sh — compare two BENCH_*.json files produced by bench.sh.
+# benchdiff.sh — compare two BENCH_*.json files produced by bench.sh or
+# scripts/loadgen.sh.
 #
 # For every benchmark name present in both files it prints the old and new
 # ns_per_op and the relative delta; names whose ns_per_op grew by more than
@@ -10,9 +11,14 @@
 #   scripts/benchdiff.sh -t 10 old.json new.json   # 10% threshold
 #
 # Entries are matched on the full benchmark name (including the -N
-# GOMAXPROCS suffix), so a -cpu sweep diffs per-width. Remember that
-# cross-run numbers are only comparable on the same quiet machine; prefer
-# several runs of each side.
+# GOMAXPROCS suffix), so a -cpu sweep diffs per-width. Latency artifacts
+# (loadgen.sh) contribute one entry per phase/endpoint pair, named
+# latency:<phase>/<endpoint>:p99_ms and diffed on the p99 with the same
+# threshold — offered rates must match between the two files for the
+# comparison to mean anything, which matching names enforce as long as
+# phases are named after their rates. Remember that cross-run numbers are
+# only comparable on the same quiet machine; prefer several runs of each
+# side.
 set -eu
 
 threshold=5
@@ -29,8 +35,10 @@ new="$2"
 [ -r "$old" ] || { echo "benchdiff.sh: cannot read $old" >&2; exit 2; }
 [ -r "$new" ] || { echo "benchdiff.sh: cannot read $new" >&2; exit 2; }
 
-# bench.sh writes one benchmark entry per line, so a line-oriented parse is
-# enough — no JSON tooling needed in the container.
+# bench.sh and loadgen.sh write one entry per line, so a line-oriented
+# parse is enough — no JSON tooling needed in the container. Latency
+# entries (json.Marshal output, no space after the colon) become
+# latency:<phase>/<endpoint>:p99_ms pseudo-benchmarks.
 extract() {
 	awk '
 	/"name":/ && /"ns_per_op":/ {
@@ -40,6 +48,15 @@ extract() {
 			if (match(line, /"ns_per_op": [0-9.eE+-]+/))
 				printf "%s %s\n", name, substr(line, RSTART + 13, RLENGTH - 13)
 		}
+	}
+	/"endpoint":/ && /"p99_ms":/ {
+		line = $0
+		if (!match(line, /"phase":"[^"]*"/)) next
+		ph = substr(line, RSTART + 9, RLENGTH - 10)
+		if (!match(line, /"endpoint":"[^"]*"/)) next
+		ep = substr(line, RSTART + 12, RLENGTH - 13)
+		if (match(line, /"p99_ms":[0-9.eE+-]+/))
+			printf "latency:%s/%s:p99_ms %s\n", ph, ep, substr(line, RSTART + 9, RLENGTH - 9)
 	}' "$1"
 }
 

@@ -38,6 +38,14 @@ if [ "${1:-}" = "-race" ]; then
 	go vet ./...
 	go test -race ./...
 	go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+	# The rumorload smoke: a ~2s open-loop sweep against an in-process
+	# rumord (one worker, the second phase offered past its capacity),
+	# asserting the artifact schema, nonzero quantiles and the saturation
+	# flip — the load-generator analogue of the E2E suite, kept explicit
+	# here because it is the gate for the latency-SLO plane (DESIGN.md
+	# §14) even though `go test -race ./...` already covers the package.
+	echo "== tier 2: rumorload smoke"
+	go test -race -count 1 -run 'TestSmokeSweep' ./internal/loadgen
 fi
 
 echo "verify: ok"
