@@ -10,6 +10,8 @@
 //	rumorctl jobs [-addr URL] [-limit N] [-status S]
 //	rumorctl workers [-addr URL]
 //	rumorctl top [-addr URL] [-watch INTERVAL]
+//	rumorctl surfaces [-addr URL] [-build -axis name=min:max:points ...]
+//	rumorctl query [-addr URL] -type T [-p name=value ...]
 //
 // Examples:
 //
@@ -20,6 +22,8 @@
 //	rumorctl jobs -status failed -limit 20
 //	rumorctl workers -addr http://localhost:8080
 //	rumorctl top -addr http://localhost:8080 -watch 2s
+//	rumorctl surfaces -build -type threshold -axis eps1=0.1:0.4:5 -axis eps2=0.02:0.1:5 -wait
+//	rumorctl query -type threshold -p eps1=0.17 -p eps2=0.05
 //
 // The events subcommand tails a rumord job's flight recorder: it replays
 // the recorded lifecycle, solver-checkpoint and invariant-violation
@@ -31,7 +35,11 @@
 // registered with a clustered coordinator — lease counts, liveness, and
 // each node's relayed telemetry (current stage, invariant violations, heap,
 // uptime). The top subcommand aggregates the same registry into a fleet
-// dashboard, redrawn every -watch interval like top(1).
+// dashboard, redrawn every -watch interval like top(1). The surfaces
+// subcommand lists the daemon's precomputed response surfaces or, with
+// -build, sweeps a parameter grid into a new one; the query subcommand asks
+// /v1/query for an interpolated answer with an explicit error bound, falling
+// back to an exact job when the question leaves the covered region.
 package main
 
 import (
@@ -95,8 +103,12 @@ func run(args []string) error {
 			return runWorkers(args[1:], os.Stdout)
 		case "top":
 			return runTop(args[1:], os.Stdout)
+		case "surfaces":
+			return runSurfaces(args[1:], os.Stdout)
+		case "query":
+			return runQuery(args[1:], os.Stdout)
 		default:
-			return cli.Usagef("unknown subcommand %q (supported: events, jobs, workers, top)", args[0])
+			return cli.Usagef("unknown subcommand %q (supported: events, jobs, workers, top, surfaces, query)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("rumorctl", flag.ContinueOnError)

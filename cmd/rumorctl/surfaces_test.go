@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rumornet/internal/cli"
+	"rumornet/internal/service"
+)
+
+// newSurfaceDaemon stands up a real in-process rumord so the surfaces/query
+// subcommands exercise the whole stack: sweep expansion, batch grid jobs,
+// the fold into a surface artifact, and interpolated serving.
+func newSurfaceDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+// TestSurfacesBuildListQuery is the CLI end-to-end: build a tiny threshold
+// surface with -wait, see it in the listing, get a microsecond interpolated
+// answer in-hull, and fall back to the exact path out-of-hull.
+func TestSurfacesBuildListQuery(t *testing.T) {
+	ts := newSurfaceDaemon(t)
+
+	var out strings.Builder
+	err := runSurfaces([]string{"-addr", ts.URL, "-build", "-type", "threshold",
+		"-axis", "eps1=0.1:0.4:2", "-axis", "eps2=0.02:0.1:2", "-wait"}, &out)
+	if err != nil {
+		t.Fatalf("surfaces -build: %v", err)
+	}
+	if got := out.String(); !strings.Contains(got, "ready") {
+		t.Fatalf("build did not settle ready:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runSurfaces([]string{"-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("surfaces list: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"KEY", "threshold", "ready", "4/4", "eps1[2]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("listing missing %q:\n%s", want, got)
+		}
+	}
+
+	// In-hull: answered from the surface with per-field error bounds.
+	out.Reset()
+	err = runQuery([]string{"-addr", ts.URL, "-type", "threshold",
+		"-p", "eps1=0.17", "-p", "eps2=0.05"}, &out)
+	if err != nil {
+		t.Fatalf("query in-hull: %v", err)
+	}
+	got = out.String()
+	for _, want := range []string{"answered from surface", "ERROR BOUND", "r0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("hit output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Out-of-hull: the exact-job fallback, with the reason surfaced.
+	out.Reset()
+	err = runQuery([]string{"-addr", ts.URL, "-type", "threshold",
+		"-p", "eps1=0.9", "-p", "eps2=0.05"}, &out)
+	if err != nil {
+		t.Fatalf("query out-of-hull: %v", err)
+	}
+	if got := out.String(); !strings.Contains(got, "fell back") {
+		t.Errorf("fallback not reported:\n%s", got)
+	}
+}
+
+// TestSurfacesEmptyListing checks the friendly empty state.
+func TestSurfacesEmptyListing(t *testing.T) {
+	ts := newSurfaceDaemon(t)
+	var out strings.Builder
+	if err := runSurfaces([]string{"-addr", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no surfaces resident") {
+		t.Errorf("empty listing not announced:\n%s", out.String())
+	}
+}
+
+func TestSurfacesFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"extra"},
+		{"-nope"},
+		{"-axis", "eps1=0.1:0.4:4"},         // -axis without -build
+		{"-build"},                          // -build without axes
+		{"-build", "-axis", "eps1"},         // no grid
+		{"-build", "-axis", "eps1=0.1:0.4"}, // not min:max:points
+		{"-build", "-axis", "eps1=a,b"},     // unparsable values
+		{"-build", "-axis", "=0.1:0.4:4"},   // empty name
+		{"-build", "-axis", "eps1=x:0.4:4"}, // unparsable grid
+	} {
+		if err := runSurfaces(args, &strings.Builder{}); cli.Code(err) != 2 {
+			t.Errorf("runSurfaces(%v): err %v, want usage error", args, err)
+		}
+	}
+}
+
+func TestQueryFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"extra"},
+		{"-nope"},
+		{"-p", "eps1"}, // not name=value
+		{"-p", "=3"},   // empty name
+	} {
+		if err := runQuery(args, &strings.Builder{}); cli.Code(err) != 2 {
+			t.Errorf("runQuery(%v): err %v, want usage error", args, err)
+		}
+	}
+}
+
+// TestTopSurfaceLine serves a canned /v1/stats surface section and checks
+// the dashboard renders the resident-surface line with the hit rate.
+func TestTopSurfaceLine(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"workers":[],"count":0}`)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"surface":{"loaded":2,"building":1,"failed":0,"bytes":2048,
+			"queries":140,"hits":120,"fallbacks":20,"hit_rate":0.857}}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := runTop([]string{"-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("runTop: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"surfaces: 2 loaded (2.0KiB)",
+		"1 building",
+		"hit rate 85.7% (120 hits / 20 fallbacks)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, got)
+		}
+	}
+
+	// A daemon without the stats endpoint degrades to the empty line.
+	noStats := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/workers" {
+			fmt.Fprint(w, `{"workers":[],"count":0}`)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer noStats.Close()
+	out.Reset()
+	if err := runTop([]string{"-addr", noStats.URL}, &out); err != nil {
+		t.Fatalf("runTop (no stats): %v", err)
+	}
+	if !strings.Contains(out.String(), "surfaces: none resident") {
+		t.Errorf("missing-stats dashboard did not degrade:\n%s", out.String())
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"rumornet/internal/cli"
 	"rumornet/internal/cluster"
+	"rumornet/internal/service"
 )
 
 // runTop implements `rumorctl top`: a fleet-level dashboard over the
@@ -36,10 +37,11 @@ func runTop(args []string, out io.Writer) error {
 			return err
 		}
 		lat := fetchLatency(*addr)
+		surf := fetchSurfaceStats(*addr)
 		if *watch > 0 {
 			fmt.Fprint(out, "\033[H\033[2J") // home + clear, terminal redraw
 		}
-		if err := renderTop(out, workers, lat); err != nil {
+		if err := renderTop(out, workers, lat, surf); err != nil {
 			return err
 		}
 		if *watch <= 0 {
@@ -50,7 +52,7 @@ func runTop(args []string, out io.Writer) error {
 }
 
 // renderTop writes the fleet summary line followed by the per-worker table.
-func renderTop(out io.Writer, workers []cluster.WorkerInfo, lat latencySummary) error {
+func renderTop(out io.Writer, workers []cluster.WorkerInfo, lat latencySummary, surf *service.SurfaceStats) error {
 	var (
 		live      int
 		leases    int
@@ -84,6 +86,7 @@ func renderTop(out io.Writer, workers []cluster.WorkerInfo, lat latencySummary) 
 		fmt.Fprintln(out, "telemetry: no samples yet (workers report on their first heartbeat)")
 	}
 	renderLatency(out, lat)
+	renderSurfaceStats(out, surf)
 	if len(workers) == 0 {
 		fmt.Fprintln(out, "no workers registered (standalone daemon, or none have polled yet)")
 		return nil

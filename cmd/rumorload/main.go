@@ -20,6 +20,14 @@
 //	rumorload -selfhost -rates 10,25,50,100 -duration 10s
 //	rumorload -target http://localhost:8080 -mix ode=3,threshold=1 -hot 0.8
 //	rumorload -selfhost -scenario loadtiny -rates 200,400 -out BENCH_PR9.json
+//	rumorload -selfhost -scenario loadtiny -query 0.5 -rates 400 -out BENCH_PR10.json
+//
+// -query interleaves GET /v1/query requests (answered in microseconds from
+// a precomputed response surface built before the sweep starts) with the
+// job submissions; -query-fallback aims a slice of them outside the
+// surface's covered region to exercise the exact-job fallback path. The
+// artifact then records the per-phase surface hit/fallback split alongside
+// the query endpoint's quantiles.
 //
 // -selfhost starts an in-process rumord on a loopback port (the same
 // handler stack the daemon serves) so a sweep is reproducible with one
@@ -69,6 +77,8 @@ func run(args []string, out *os.File) error {
 		note     = fs.String("note", "", "free-form note recorded in the artifact header")
 		poll     = fs.Duration("poll", 2*time.Millisecond, "GET /v1/jobs/{id} poll interval")
 		inflight = fs.Int("inflight", 512, "bound on concurrently outstanding requests (waiting for a slot still counts as latency)")
+		query    = fs.Float64("query", 0, "fraction of requests sent as GET /v1/query instead of job submissions (0: none; builds the query surface first)")
+		queryFB  = fs.Float64("query-fallback", 0.25, "fraction of queries aimed outside the surface hull to force the exact-job fallback")
 	)
 	lf := cli.AddLogFlags(fs)
 	if err := cli.WrapParse(fs.Parse(args)); err != nil {
@@ -99,6 +109,12 @@ func run(args []string, out *os.File) error {
 	}
 	if *hot < 0 || *hot > 1 {
 		return cli.Usagef("-hot must be in [0,1], got %g", *hot)
+	}
+	if *query < 0 || *query > 1 {
+		return cli.Usagef("-query must be in [0,1], got %g", *query)
+	}
+	if *queryFB < 0 || *queryFB > 1 {
+		return cli.Usagef("-query-fallback must be in [0,1], got %g", *queryFB)
 	}
 	phases, err := parseRates(*rates, *duration)
 	if err != nil {
@@ -139,17 +155,25 @@ func run(args []string, out *os.File) error {
 	}
 
 	g := loadgen.New(loadgen.Config{
-		BaseURL:      baseURL,
-		Mix:          mixEntries,
-		Scenario:     *scenario,
-		HotFraction:  *hot,
-		HotKeys:      *hotKeys,
-		MaxInFlight:  *inflight,
-		PollInterval: *poll,
-		Progress:     os.Stderr,
+		BaseURL:               baseURL,
+		Mix:                   mixEntries,
+		Scenario:              *scenario,
+		HotFraction:           *hot,
+		HotKeys:               *hotKeys,
+		MaxInFlight:           *inflight,
+		PollInterval:          *poll,
+		QueryFraction:         *query,
+		QueryFallbackFraction: *queryFB,
+		Progress:              os.Stderr,
 	})
 	if err := g.EnsureScenario(ctx); err != nil {
 		return err
+	}
+	if *query > 0 {
+		fmt.Fprintln(os.Stderr, "rumorload: building the query surface (threshold eps1×eps2 grid)")
+		if err := g.BuildQuerySurface(ctx); err != nil {
+			return err
+		}
 	}
 	res, err := g.Run(ctx, phases)
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,17 +40,29 @@ import (
 )
 
 // Endpoint names recorded per phase. "submit" is the POST round trip,
-// "e2e" scheduled-send→terminal-status, the segment: entries are the
-// server's own attribution relayed on the terminal job record.
+// "e2e" scheduled-send→terminal-status, "query" the GET /v1/query round
+// trip (surface hits answer inside it; fallbacks additionally ride the
+// e2e histogram), and the segment: entries are the server's own
+// attribution relayed on the terminal job record.
 const (
 	EndpointSubmit = "submit"
 	EndpointE2E    = "e2e"
+	EndpointQuery  = "query"
 	SegQueueWait   = "segment:queue_wait"
 	SegExecute     = "segment:execute"
 	SegSerialize   = "segment:serialize"
 )
 
-var endpoints = []string{EndpointSubmit, EndpointE2E, SegQueueWait, SegExecute, SegSerialize}
+var endpoints = []string{EndpointSubmit, EndpointE2E, EndpointQuery, SegQueueWait, SegExecute, SegSerialize}
+
+// Query-surface grid bounds: BuildQuerySurface constructs the threshold
+// eps1 x eps2 surface over exactly this hull, and queryURL samples inside
+// it (hits) or far outside it (forced fallbacks).
+const (
+	querySurfEps1Min, querySurfEps1Max = 0.10, 0.40
+	querySurfEps2Min, querySurfEps2Max = 0.02, 0.10
+	querySurfPoints                    = 4
+)
 
 // MixEntry weights one job type in the offered traffic.
 type MixEntry struct {
@@ -84,6 +97,14 @@ type Config struct {
 	HotFraction float64
 	// HotKeys is the size of the hot key set (default 8).
 	HotKeys int
+	// QueryFraction routes this share of scheduled requests to the
+	// GET /v1/query interpolated-answer path instead of submit→poll; call
+	// BuildQuerySurface first or every query falls back to an exact job.
+	QueryFraction float64
+	// QueryFallbackFraction of the query requests aim outside the covered
+	// region on purpose, so a sweep prices the fallback path alongside the
+	// hits. The rest sample strictly inside the surface hull.
+	QueryFallbackFraction float64
 	// MaxInFlight bounds concurrently outstanding requests (default 512).
 	// A request that had to wait for a slot still measures from its
 	// scheduled tick — the wait IS latency, not an excuse.
@@ -108,6 +129,16 @@ func (c Config) withDefaults() Config {
 		c.HotFraction = 0
 	} else if c.HotFraction > 1 {
 		c.HotFraction = 1
+	}
+	if c.QueryFraction < 0 {
+		c.QueryFraction = 0
+	} else if c.QueryFraction > 1 {
+		c.QueryFraction = 1
+	}
+	if c.QueryFallbackFraction < 0 {
+		c.QueryFallbackFraction = 0
+	} else if c.QueryFallbackFraction > 1 {
+		c.QueryFallbackFraction = 1
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 512
@@ -139,18 +170,22 @@ type EndpointStats struct {
 // draining) — deliberate admission control under overload, reported apart
 // from Errors so a sweep past saturation doesn't read as broken.
 type PhaseResult struct {
-	Phase       string          `json:"phase"`
-	OfferedRPS  float64         `json:"offered_rps"`
-	AchievedRPS float64         `json:"achieved_rps"`
-	DurationS   float64         `json:"duration_s"` // dispatch window
-	DrainS      float64         `json:"drain_s"`    // dispatch start -> last completion
-	Requests    int64           `json:"requests"`
-	Completed   int64           `json:"completed"`
-	CacheHits   int64           `json:"cache_hits"`
-	Rejected    int64           `json:"rejected"`
-	Errors      int64           `json:"errors"`
-	Saturated   bool            `json:"saturated"` // rumor_saturated seen 1 during the phase
-	Endpoints   []EndpointStats `json:"endpoints"`
+	Phase       string  `json:"phase"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	DurationS   float64 `json:"duration_s"` // dispatch window
+	DrainS      float64 `json:"drain_s"`    // dispatch start -> last completion
+	Requests    int64   `json:"requests"`
+	Completed   int64   `json:"completed"`
+	CacheHits   int64   `json:"cache_hits"`
+	// SurfaceHits / SurfaceFallbacks split the query-mix traffic: answered
+	// by interpolation vs routed to the exact-job fallback.
+	SurfaceHits      int64           `json:"surface_hits"`
+	SurfaceFallbacks int64           `json:"surface_fallbacks"`
+	Rejected         int64           `json:"rejected"`
+	Errors           int64           `json:"errors"`
+	Saturated        bool            `json:"saturated"` // rumor_saturated seen 1 during the phase
+	Endpoints        []EndpointStats `json:"endpoints"`
 }
 
 // Result is a whole sweep.
@@ -291,6 +326,8 @@ func (g *Generator) runPhase(ctx context.Context, ph Phase) (*PhaseResult, error
 	var (
 		completed atomic.Int64
 		cacheHits atomic.Int64
+		surfHits  atomic.Int64
+		surfFalls atomic.Int64
 		rejected  atomic.Int64
 		errs      atomic.Int64
 		saturated atomic.Bool
@@ -298,6 +335,7 @@ func (g *Generator) runPhase(ctx context.Context, ph Phase) (*PhaseResult, error
 	)
 	sem := make(chan struct{}, g.cfg.MaxInFlight)
 	interval := time.Duration(float64(time.Second) / ph.Rate)
+	qi := 0 // query-request index, advanced only on query dispatches
 	start := time.Now()
 
 	// Saturation sampler: the gauge can flip mid-phase and (with a short
@@ -335,6 +373,35 @@ func (g *Generator) runPhase(ctx context.Context, ph Phase) (*PhaseResult, error
 		// Dispatch never blocks on the in-flight bound: the goroutine
 		// acquires its slot itself, and the wait is part of the measured
 		// latency because the clock started at `scheduled`.
+		if g.isQuery(i) {
+			u := g.queryURL(qi)
+			qi++
+			wg.Add(1)
+			go func(scheduled time.Time, u string) {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					errs.Add(1)
+					return
+				}
+				defer func() { <-sem }()
+				o, err := g.queryOne(ctx, scheduled, u, rec)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case o == outcomeSurfaceHit:
+					surfHits.Add(1)
+					completed.Add(1)
+				case o == outcomeShed:
+					rejected.Add(1)
+				default:
+					surfFalls.Add(1)
+					completed.Add(1)
+				}
+			}(scheduled, u)
+			continue
+		}
 		body := g.requestBody(i)
 		wg.Add(1)
 		go func(scheduled time.Time, body []byte) {
@@ -373,6 +440,8 @@ func (g *Generator) runPhase(ctx context.Context, ph Phase) (*PhaseResult, error
 	pr.DrainS = drain.Seconds()
 	pr.Completed = completed.Load()
 	pr.CacheHits = cacheHits.Load()
+	pr.SurfaceHits = surfHits.Load()
+	pr.SurfaceFallbacks = surfFalls.Load()
 	pr.Rejected = rejected.Load()
 	pr.Errors = errs.Load()
 	pr.Saturated = saturated.Load()
@@ -456,10 +525,97 @@ func terminal(status string) bool {
 type outcome int
 
 const (
-	outcomeDone outcome = iota // executed to terminal success
-	outcomeHit                 // answered synchronously from the result cache
-	outcomeShed                // shed by admission control (503: queue full / draining)
+	outcomeDone       outcome = iota // executed to terminal success
+	outcomeHit                       // answered synchronously from the result cache
+	outcomeShed                      // shed by admission control (503: queue full / draining / saturated)
+	outcomeSurfaceHit                // answered by surface interpolation
+	outcomeFallback                  // query fell back to the exact job path
 )
+
+// isQuery decides whether the i-th scheduled request goes to the query
+// endpoint, interleaving evenly at QueryFraction (same integer-crossing
+// trick as the hot/cold split).
+func (g *Generator) isQuery(i int) bool {
+	f := g.cfg.QueryFraction
+	return int(float64(i+1)*f) > int(float64(i)*f)
+}
+
+// queryURL builds the qi-th query deterministically: fallbacks interleave
+// at QueryFallbackFraction and aim far outside the grid; the rest take a
+// golden-ratio low-discrepancy walk strictly inside the hull, so hits
+// sample the whole surface instead of one cell.
+func (g *Generator) queryURL(qi int) string {
+	f := g.cfg.QueryFallbackFraction
+	fallback := int(float64(qi+1)*f) > int(float64(qi)*f)
+	var eps1, eps2 float64
+	if fallback {
+		eps1, eps2 = 0.9, 0.05 // eps1 far above the grid max: uncovered
+	} else {
+		u := math.Mod(float64(qi)*0.6180339887498949, 1)
+		v := math.Mod(float64(qi)*0.7548776662466927, 1)
+		eps1 = querySurfEps1Min + (0.02+0.96*u)*(querySurfEps1Max-querySurfEps1Min)
+		eps2 = querySurfEps2Min + (0.02+0.96*v)*(querySurfEps2Max-querySurfEps2Min)
+	}
+	var b strings.Builder
+	b.WriteString(g.cfg.BaseURL)
+	b.WriteString("/v1/query?type=threshold")
+	if g.cfg.Scenario != "" {
+		b.WriteString("&scenario=")
+		b.WriteString(url.QueryEscape(g.cfg.Scenario))
+	}
+	fmt.Fprintf(&b, "&eps1=%.6f&eps2=%.6f", eps1, eps2)
+	return b.String()
+}
+
+// queryOne drives one GET /v1/query: a surface hit answers inside the
+// round trip; a fallback envelope carries the exact job, which is polled
+// to terminal so the e2e histogram prices the full fallback path.
+func (g *Generator) queryOne(ctx context.Context, scheduled time.Time, rawURL string, rec *recorders) (outcome, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return outcomeDone, err
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return outcomeDone, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return outcomeDone, err
+	}
+	rec.record(EndpointQuery, time.Since(scheduled))
+
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	case http.StatusServiceUnavailable:
+		return outcomeShed, nil
+	default:
+		return outcomeDone, fmt.Errorf("loadgen: query status %d: %s", resp.StatusCode, raw)
+	}
+	var env struct {
+		Source string   `json:"source"`
+		Job    *jobView `json:"job"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return outcomeDone, fmt.Errorf("loadgen: decode query response: %w", err)
+	}
+	if env.Source == "surface" {
+		return outcomeSurfaceHit, nil
+	}
+	if env.Job == nil {
+		return outcomeDone, fmt.Errorf("loadgen: fallback envelope carries no job")
+	}
+	job := *env.Job
+	if err := g.pollJob(ctx, &job, rec); err != nil {
+		return outcomeDone, err
+	}
+	rec.record(EndpointE2E, time.Since(scheduled))
+	if job.Status != "succeeded" {
+		return outcomeDone, fmt.Errorf("loadgen: fallback job %s %s: %s", job.ID, job.Status, job.Error)
+	}
+	return outcomeFallback, nil
+}
 
 // one drives a single request: submit, then poll to terminal. Every
 // latency is measured from scheduled.
@@ -502,44 +658,144 @@ func (g *Generator) one(ctx context.Context, scheduled time.Time, body []byte, r
 		return outcomeHit, nil
 	}
 
+	if err := g.pollJob(ctx, &job, rec); err != nil {
+		return outcomeDone, err
+	}
+	rec.record(EndpointE2E, time.Since(scheduled))
+	if job.Status != "succeeded" {
+		return outcomeDone, fmt.Errorf("loadgen: job %s %s: %s", job.ID, job.Status, job.Error)
+	}
+	return outcomeDone, nil
+}
+
+// pollJob drives GET /v1/jobs/{id} until the job settles, then records the
+// server-attributed segments from the terminal record.
+func (g *Generator) pollJob(ctx context.Context, job *jobView, rec *recorders) error {
 	for !terminal(job.Status) {
 		select {
 		case <-ctx.Done():
-			return outcomeDone, ctx.Err()
+			return ctx.Err()
 		case <-time.After(g.cfg.PollInterval):
 		}
 		preq, err := http.NewRequestWithContext(ctx, http.MethodGet,
 			g.cfg.BaseURL+"/v1/jobs/"+job.ID, nil)
 		if err != nil {
-			return outcomeDone, err
+			return err
 		}
 		presp, err := g.cfg.Client.Do(preq)
 		if err != nil {
-			return outcomeDone, err
+			return err
 		}
 		praw, err := io.ReadAll(presp.Body)
 		presp.Body.Close()
 		if err != nil {
-			return outcomeDone, err
+			return err
 		}
 		if presp.StatusCode != http.StatusOK {
-			return outcomeDone, fmt.Errorf("loadgen: poll status %d: %s", presp.StatusCode, praw)
+			return fmt.Errorf("loadgen: poll status %d: %s", presp.StatusCode, praw)
 		}
-		if err := json.Unmarshal(praw, &job); err != nil {
-			return outcomeDone, fmt.Errorf("loadgen: decode poll response: %w", err)
+		if err := json.Unmarshal(praw, job); err != nil {
+			return fmt.Errorf("loadgen: decode poll response: %w", err)
 		}
 	}
-	end := time.Now()
-	rec.record(EndpointE2E, end.Sub(scheduled))
 	if job.Latency != nil {
 		rec.record(SegQueueWait, time.Duration(job.Latency.QueueWaitMS*float64(time.Millisecond)))
 		rec.record(SegExecute, time.Duration(job.Latency.ExecuteMS*float64(time.Millisecond)))
 		rec.record(SegSerialize, time.Duration(job.Latency.SerializeMS*float64(time.Millisecond)))
 	}
-	if job.Status != "succeeded" {
-		return outcomeDone, fmt.Errorf("loadgen: job %s %s: %s", job.ID, job.Status, job.Error)
+	return nil
+}
+
+// BuildQuerySurface asks the server to construct the threshold response
+// surface the query mix targets (eps1 x eps2 over the documented grid on
+// Config.Scenario) and blocks until it is ready, so a sweep prices
+// serving, not construction. Idempotent: an identical resident or
+// persisted surface comes back ready immediately.
+func (g *Generator) BuildQuerySurface(ctx context.Context) error {
+	scenario := ""
+	if g.cfg.Scenario != "" {
+		scenario = fmt.Sprintf(",\"scenario\":%q", g.cfg.Scenario)
 	}
-	return outcomeDone, nil
+	body := fmt.Sprintf(
+		`{"type":"threshold"%s,"axes":[{"name":"eps1","min":%g,"max":%g,"points":%d},{"name":"eps2","min":%g,"max":%g,"points":%d}]}`,
+		scenario,
+		querySurfEps1Min, querySurfEps1Max, querySurfPoints,
+		querySurfEps2Min, querySurfEps2Max, querySurfPoints)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		g.cfg.BaseURL+"/v1/surfaces", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: build surface: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("loadgen: build surface: status %d: %s", resp.StatusCode, raw)
+	}
+	var info struct {
+		Key    string `json:"key"`
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return fmt.Errorf("loadgen: decode surface response: %w", err)
+	}
+	for info.Status == "building" {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+		lreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			g.cfg.BaseURL+"/v1/surfaces", nil)
+		if err != nil {
+			return err
+		}
+		lresp, err := g.cfg.Client.Do(lreq)
+		if err != nil {
+			return err
+		}
+		lraw, err := io.ReadAll(lresp.Body)
+		lresp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if lresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadgen: list surfaces: status %d: %s", lresp.StatusCode, lraw)
+		}
+		var list struct {
+			Surfaces []struct {
+				Key    string `json:"key"`
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			} `json:"surfaces"`
+		}
+		if err := json.Unmarshal(lraw, &list); err != nil {
+			return fmt.Errorf("loadgen: decode surface list: %w", err)
+		}
+		found := false
+		for _, s := range list.Surfaces {
+			if s.Key == info.Key {
+				info.Status, info.Error = s.Status, s.Error
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("loadgen: surface %s vanished mid-build", info.Key)
+		}
+	}
+	if info.Status != "ready" {
+		return fmt.Errorf("loadgen: surface build %s: %s", info.Status, info.Error)
+	}
+	return nil
 }
 
 // scrapeSaturated reads the rumor_saturated gauge off /metrics; any

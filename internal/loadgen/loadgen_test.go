@@ -145,6 +145,100 @@ func TestSmokeSweep(t *testing.T) {
 	}
 }
 
+// TestSurfaceSmoke is the tier-2 response-surface smoke (scripts/verify.sh):
+// build the tiny threshold surface on loadtiny over HTTP, then run a mixed
+// phase where half the requests are queries — most inside the hull
+// (interpolated hits), a quarter aimed outside it (forced exact-job
+// fallbacks) — and check the hit/fallback split, the query endpoint's
+// histogram, and the artifact schema. Timing-robust by design: it asserts
+// the pipeline, not this box's speed (BENCH_PR10.json records that).
+func TestSurfaceSmoke(t *testing.T) {
+	// Not newTestTarget: its micro saturation budget latches the server
+	// saturated, which (correctly) sheds the batch grid jobs a surface
+	// build submits — this smoke needs construction to complete.
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+
+	g := New(Config{
+		BaseURL:               ts.URL,
+		Client:                ts.Client(),
+		Scenario:              "loadtiny",
+		QueryFraction:         0.5,
+		QueryFallbackFraction: 0.25,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := g.EnsureScenario(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BuildQuerySurface(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: the same spec resolves to the same content key and
+	// answers ready without re-running a grid point.
+	if err := g.BuildQuerySurface(ctx); err != nil {
+		t.Fatalf("rebuild of an existing surface: %v", err)
+	}
+
+	res, err := g.Run(ctx, []Phase{{Name: "mix", Rate: 100, Duration: 500 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := res.Phases[0]
+	if ph.Errors > 0 {
+		t.Errorf("%d errors in the mixed phase", ph.Errors)
+	}
+	if ph.Completed != ph.Requests {
+		t.Errorf("completed %d of %d", ph.Completed, ph.Requests)
+	}
+	if ph.SurfaceHits == 0 {
+		t.Error("no surface hits: in-hull queries did not interpolate")
+	}
+	if ph.SurfaceFallbacks == 0 {
+		t.Error("no fallbacks: out-of-hull queries did not reach the exact path")
+	}
+	if ph.SurfaceHits <= ph.SurfaceFallbacks {
+		t.Errorf("hit/fallback split %d/%d: expected hits to dominate at fallback fraction 0.25",
+			ph.SurfaceHits, ph.SurfaceFallbacks)
+	}
+	found := map[string]int64{}
+	for _, ep := range ph.Endpoints {
+		found[ep.Endpoint] = ep.Count
+	}
+	if found[EndpointQuery] != ph.SurfaceHits+ph.SurfaceFallbacks {
+		t.Errorf("query endpoint recorded %d samples, want %d",
+			found[EndpointQuery], ph.SurfaceHits+ph.SurfaceFallbacks)
+	}
+	if found[EndpointE2E] == 0 {
+		t.Error("e2e endpoint empty: submit-path and fallback jobs both missing")
+	}
+
+	var sb strings.Builder
+	if err := WriteArtifact(&sb, "surface-smoke", "", "ode=1", 0.5, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Phases []struct {
+			SurfaceHits      int64 `json:"surface_hits"`
+			SurfaceFallbacks int64 `json:"surface_fallbacks"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if parsed.Phases[0].SurfaceHits != ph.SurfaceHits ||
+		parsed.Phases[0].SurfaceFallbacks != ph.SurfaceFallbacks {
+		t.Errorf("artifact lost the hit/fallback split: %+v", parsed.Phases[0])
+	}
+}
+
 // TestEnsureScenario covers the high-rate-sweep setup path: registering
 // the small scenario succeeds (201) and is idempotent (409 = ok).
 func TestEnsureScenario(t *testing.T) {

@@ -34,19 +34,22 @@ func WriteArtifact(w io.Writer, suite, note, mix string, hotFraction float64, re
 	fmt.Fprintf(w, "  %q: [\n", "phases")
 	for i, ph := range res.Phases {
 		line, err := json.Marshal(struct {
-			Phase       string  `json:"phase"`
-			OfferedRPS  float64 `json:"offered_rps"`
-			AchievedRPS float64 `json:"achieved_rps"`
-			DurationS   float64 `json:"duration_s"`
-			DrainS      float64 `json:"drain_s"`
-			Requests    int64   `json:"requests"`
-			Completed   int64   `json:"completed"`
-			CacheHits   int64   `json:"cache_hits"`
-			Rejected    int64   `json:"rejected"`
-			Errors      int64   `json:"errors"`
-			Saturated   bool    `json:"saturated"`
+			Phase            string  `json:"phase"`
+			OfferedRPS       float64 `json:"offered_rps"`
+			AchievedRPS      float64 `json:"achieved_rps"`
+			DurationS        float64 `json:"duration_s"`
+			DrainS           float64 `json:"drain_s"`
+			Requests         int64   `json:"requests"`
+			Completed        int64   `json:"completed"`
+			CacheHits        int64   `json:"cache_hits"`
+			SurfaceHits      int64   `json:"surface_hits"`
+			SurfaceFallbacks int64   `json:"surface_fallbacks"`
+			Rejected         int64   `json:"rejected"`
+			Errors           int64   `json:"errors"`
+			Saturated        bool    `json:"saturated"`
 		}{ph.Phase, round2(ph.OfferedRPS), round2(ph.AchievedRPS), round2(ph.DurationS),
-			round2(ph.DrainS), ph.Requests, ph.Completed, ph.CacheHits, ph.Rejected, ph.Errors, ph.Saturated})
+			round2(ph.DrainS), ph.Requests, ph.Completed, ph.CacheHits,
+			ph.SurfaceHits, ph.SurfaceFallbacks, ph.Rejected, ph.Errors, ph.Saturated})
 		if err != nil {
 			return err
 		}

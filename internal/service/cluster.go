@@ -301,7 +301,7 @@ func (s *Service) Workers() []cluster.WorkerInfo {
 func (s *Service) DegradedReasons() []string {
 	var reasons []string
 	if s.table != nil {
-		if qd := len(s.queue); qd > 0 && s.table.LiveWorkers() == 0 {
+		if qd := s.queueLen(); qd > 0 && s.table.LiveWorkers() == 0 {
 			reasons = append(reasons, fmt.Sprintf("no live workers, %d jobs queued", qd))
 		}
 	}
@@ -333,8 +333,10 @@ func (s *Service) DeregisterWorker(id string) {
 	s.cfg.Logger.Info("worker deregistered", "worker", id)
 }
 
-// LeaseNext claims the next queued job for a worker. It returns (nil, nil)
-// when the queue is empty — the worker backs off and polls again.
+// LeaseNext claims the next queued job for a worker, interactive class
+// first — remote lease ordering honours the same admission priority as the
+// local worker pool. It returns (nil, nil) when both queues are empty (or
+// draining and dry) — the worker backs off and polls again.
 func (s *Service) LeaseNext(workerID, addr string) (*LeasedJob, error) {
 	if s.table == nil {
 		return nil, fmt.Errorf("%w: not a coordinator", ErrNotFound)
@@ -344,14 +346,8 @@ func (s *Service) LeaseNext(workerID, addr string) (*LeasedJob, error) {
 	}
 	s.table.Touch(workerID, addr)
 	for {
-		var r *jobRecord
-		select {
-		case rec, ok := <-s.queue:
-			if !ok {
-				return nil, nil // draining and the buffer is dry
-			}
-			r = rec
-		default:
+		r := s.tryDequeue()
+		if r == nil {
 			return nil, nil
 		}
 		if lj := s.grantLease(r, workerID); lj != nil {
@@ -401,7 +397,7 @@ func (s *Service) grantLease(r *jobRecord, workerID string) *LeasedJob {
 	s.mu.Unlock()
 
 	queueWait := start.Sub(r.job.SubmittedAt)
-	s.met.queueWait.Observe(queueWait.Seconds())
+	s.met.queueWaitObserve(r.req.Class, queueWait)
 	if s.sat != nil {
 		s.sat.observe(queueWait, start)
 	}
@@ -642,7 +638,7 @@ func (s *Service) reapExpired() {
 			r.job.Worker = ""
 			attempts := r.attempts // read before unlock: the next grant increments it
 			select {
-			case s.queue <- r:
+			case s.queues[classIndex(r.req.Class)] <- r:
 				s.mu.Unlock()
 				s.met.requeues.Inc()
 				s.journal.Append(journal.Entry{

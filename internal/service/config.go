@@ -82,6 +82,13 @@ type Config struct {
 	// Logger and the Hooks are always overridden to feed the service's
 	// metrics registry.
 	StoreOptions store.Options
+	// StoreReader, when non-nil, overrides the read-only persistence seam
+	// the serving paths use (cache-miss result reads, response-surface
+	// artifacts). Defaults to the store StoreDir opened; tests inject a
+	// double here to prove the serving tier never reaches around the seam,
+	// and a shared or remote content-addressed tier can slot in the same
+	// way. Writes still go to the local store when one is configured.
+	StoreReader store.Reader
 	// Cluster, when Enabled, runs the service as a coordinator: no local
 	// worker pool, jobs execute on remote worker nodes under fenced leases
 	// (see cluster.go and DESIGN.md §12).

@@ -29,6 +29,12 @@ import (
 //	                               stream live events over SSE (?follow=0
 //	                               for replay only)
 //	DELETE /v1/jobs/{id}         — cancel a job
+//	POST   /v1/surfaces          — build (or reload) a response surface
+//	                               from a sweep spec (202 while building)
+//	GET    /v1/surfaces          — list resident surfaces and their status
+//	GET/POST /v1/query           — interpolated answer from a covering
+//	                               surface (microseconds, with error bound),
+//	                               falling back to an exact interactive job
 //
 // Every route runs behind the telemetry middleware: a request id (client
 // X-Request-Id or generated) is echoed back, attached to the
@@ -78,6 +84,10 @@ func (s *Service) Handler() http.Handler {
 	if s.table != nil {
 		s.clusterRoutes(mux)
 	}
+	mux.HandleFunc("POST /v1/surfaces", s.handleBuildSurface)
+	mux.HandleFunc("GET /v1/surfaces", s.handleSurfaceIndex)
+	mux.HandleFunc("GET /v1/query", s.handleQueryGet)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobIndex)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -283,7 +293,7 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, errDuplicate), errors.Is(err, ErrStaleLease):
 		writeError(w, http.StatusConflict, err)
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining), errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:

@@ -190,11 +190,53 @@ func (p Params) validate(t JobType) error {
 	return nil
 }
 
+// Class is a job's admission-priority class (DESIGN.md §15). The service
+// runs one bounded queue per class; workers and cluster leases always drain
+// interactive work first, and the saturation detector sheds batch
+// submissions before interactive ones.
+type Class string
+
+// Admission classes.
+const (
+	// ClassInteractive is the default: latency-sensitive work (direct
+	// submissions, /v1/query fallbacks) that must never sit behind a sweep.
+	ClassInteractive Class = "interactive"
+	// ClassBatch marks throughput work — surface-construction sweeps tag
+	// their grid-point jobs batch — that yields to interactive traffic and
+	// is shed first under saturation.
+	ClassBatch Class = "batch"
+)
+
+// withDefault resolves the empty class to interactive, so pre-existing
+// clients (and pre-PR-10 WAL records) keep their latency semantics.
+func (c Class) withDefault() Class {
+	if c == "" {
+		return ClassInteractive
+	}
+	return c
+}
+
+func validClass(c Class) bool {
+	return c == "" || c == ClassInteractive || c == ClassBatch
+}
+
+// classIndex maps a class onto its queue slot (0 = interactive, 1 = batch).
+func classIndex(c Class) int {
+	if c == ClassBatch {
+		return 1
+	}
+	return 0
+}
+
 // Request is the body of POST /v1/jobs.
 type Request struct {
 	Type     JobType `json:"type"`
 	Scenario string  `json:"scenario,omitempty"` // default BuiltinScenario
 	Params   Params  `json:"params"`
+	// Class is the admission-priority class (default interactive). It is
+	// deliberately excluded from the cache key: the result of a computation
+	// does not depend on how politely it queued.
+	Class Class `json:"class,omitempty"`
 	// TimeoutSec is the per-job wall-clock budget in seconds (0: server
 	// default). Values above the server cap are clamped.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
@@ -247,6 +289,8 @@ type Job struct {
 	Type     JobType `json:"type"`
 	Scenario string  `json:"scenario"`
 	Status   Status  `json:"status"`
+	// Class is the admission-priority class the job queued under.
+	Class Class `json:"class,omitempty"`
 	// TraceID is the W3C trace the job belongs to: the client's traceparent
 	// trace when the submission carried one, else a server-generated one.
 	// Grep the logs or the journal for it to correlate across layers.

@@ -36,6 +36,7 @@ func (s *Service) walSubmitted(r *jobRecord) {
 		err = s.store.AppendSubmitted(store.JobState{
 			ID: r.job.ID, Seq: r.seq, Request: blob, Key: r.key,
 			TraceID: r.job.TraceID, SubmittedAt: r.job.SubmittedAt,
+			Class: string(r.req.Class),
 		})
 	}
 	s.walErrored("submitted", r.job.ID, err)
@@ -175,6 +176,11 @@ func (s *Service) requeueRecovered(js store.JobState) Status {
 	if err := json.Unmarshal(js.Request, &req); err != nil {
 		reason = fmt.Sprintf("recovery: undecodable request: %v", err)
 	}
+	// The WAL records the admission class both inside the request blob and
+	// on the JobState; prefer the explicit field when the blob predates it.
+	if req.Class == "" && js.Class != "" {
+		req.Class = Class(js.Class)
+	}
 	var (
 		sc      *Scenario
 		key     string
@@ -206,6 +212,7 @@ func (s *Service) requeueRecovered(js store.JobState) Status {
 			Type:        req.Type,
 			Scenario:    req.Scenario,
 			Status:      StatusQueued,
+			Class:       req.Class,
 			TraceID:     span.Context().TraceID.String(),
 			SubmittedAt: submitted,
 		},
@@ -241,7 +248,7 @@ func (s *Service) requeueRecovered(js store.JobState) Status {
 			return StatusSucceeded
 		}
 		select {
-		case s.queue <- r:
+		case s.queues[classIndex(req.Class)] <- r:
 			s.insertLocked(r)
 			s.journal.Append(journal.Entry{
 				JobID: js.ID, TraceID: r.job.TraceID,

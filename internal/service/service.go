@@ -42,6 +42,10 @@ var (
 	// ErrQueueFull is returned when the bounded queue rejects a
 	// submission (503): back off and retry.
 	ErrQueueFull = errors.New("job queue full")
+	// ErrSaturated is returned for batch submissions while the queue-wait
+	// saturation detector reports saturated (503): under overload the
+	// service sheds throughput work first so interactive latency recovers.
+	ErrSaturated = errors.New("saturated: batch admission suspended")
 	// ErrDraining is returned for submissions after drain began (503).
 	ErrDraining = errors.New("service draining")
 	// errDuplicate marks a scenario-name collision (409).
@@ -102,6 +106,15 @@ type Service struct {
 	// store is the durable WAL + result store (nil without Config.StoreDir).
 	// Set once in New before the workers start, never mutated after.
 	store *store.Store
+	// reader is the read-only persistence seam the serving paths use
+	// (cache-miss disk reads, surface artifacts): Config.StoreReader when
+	// injected, else the store itself, else nil. Set once in New.
+	reader store.Reader
+	// surf is the response-surface registry (surface.go); always non-nil.
+	surf *surfaceManager
+	// surfWG tracks surface-construction goroutines; Close waits for them
+	// after the workers exit so no build touches a closed store.
+	surfWG sync.WaitGroup
 	// sat is the queue-wait saturation detector (latency.go); nil when
 	// Config.SaturationBudget disabled it. Set once in New.
 	sat *satWindow
@@ -119,12 +132,16 @@ type Service struct {
 	// workers drain their leases); Close waits on both.
 	reaperWG sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*jobRecord
-	order    []string            // submission order, for bounded retention
-	keyJobs  map[string][]string // cache key -> jobs whose journal it retains
-	seq      uint64
-	queue    chan *jobRecord
+	mu      sync.Mutex
+	jobs    map[string]*jobRecord
+	order   []string            // submission order, for bounded retention
+	keyJobs map[string][]string // cache key -> jobs whose journal it retains
+	seq     uint64
+	// queues is one bounded channel per admission class, indexed by
+	// classIndex (0 = interactive, 1 = batch). Workers and cluster leases
+	// drain interactive first — a queued batch sweep never delays a queued
+	// interactive job by more than the job already executing.
+	queues   [2]chan *jobRecord
 	draining bool
 
 	reqSeq atomic.Uint64 // request-id generator for the HTTP middleware
@@ -154,7 +171,11 @@ func New(cfg Config) (*Service, error) {
 		journal:   journal.New(cfg.JournalEntries, cfg.JournalSink),
 		jobs:      make(map[string]*jobRecord),
 		keyJobs:   make(map[string][]string),
-		queue:     make(chan *jobRecord, cfg.QueueDepth),
+		queues: [2]chan *jobRecord{
+			make(chan *jobRecord, cfg.QueueDepth),
+			make(chan *jobRecord, cfg.QueueDepth),
+		},
+		surf: newSurfaceManager(),
 	}
 	if cfg.Cluster.Enabled {
 		s.table = cluster.New(cfg.Cluster.LeaseTTL, cfg.Cluster.WorkerLiveness, nil)
@@ -182,6 +203,13 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.store = st
 	}
+	// The serving paths read through the seam: an injected Reader wins (a
+	// shared or remote tier, or a test double), else the local store backs
+	// it, else reads are simply skipped.
+	s.reader = cfg.StoreReader
+	if s.reader == nil && s.store != nil {
+		s.reader = s.store
+	}
 	fail := func(err error) (*Service, error) {
 		if s.store != nil {
 			s.store.Close()
@@ -202,6 +230,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if s.store != nil {
 		s.recoverFromStore()
+	}
+	if s.reader != nil {
+		s.reloadSurfaces()
 	}
 
 	if s.table != nil {
@@ -298,6 +329,7 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 			Type:        req.Type,
 			Scenario:    req.Scenario,
 			Status:      StatusQueued,
+			Class:       req.Class,
 			TraceID:     span.Context().TraceID.String(),
 			SubmittedAt: now,
 		},
@@ -314,10 +346,11 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 		return s.finishCacheHitLocked(r, raw, "memory"), nil
 	}
 	// Memory miss: a result persisted by an earlier process life (or
-	// evicted by the LRU bound since) may still be on disk. The read also
-	// repopulates the memory cache, so one submission pays the disk I/O.
-	if s.store != nil {
-		if blob, ok := s.store.GetResult(key); ok {
+	// evicted by the LRU bound since) may still be on disk. The read goes
+	// through the Reader seam and also repopulates the memory cache, so one
+	// submission pays the I/O.
+	if s.reader != nil {
+		if blob, ok := s.reader.GetResult(key); ok {
 			raw := json.RawMessage(blob)
 			if evicted := s.cache.put(key, raw); len(evicted) > 0 {
 				s.met.cacheEvictions.Add(int64(len(evicted)))
@@ -327,8 +360,19 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 		}
 	}
 
+	// Saturation sheds batch work first: an overloaded queue recovers by
+	// refusing sweeps, not interactive submissions. Checked after the cache
+	// — a hit costs no queue slot, so shedding it would only waste work.
+	if req.Class == ClassBatch && s.sat != nil && s.sat.Saturated() {
+		span.End()
+		s.met.reject()
+		s.met.shed.Inc()
+		s.cfg.Logger.Warn("job rejected", "reason", "saturated", "class", req.Class, "type", req.Type)
+		return Job{}, ErrSaturated
+	}
+
 	select {
-	case s.queue <- r:
+	case s.queues[classIndex(req.Class)] <- r:
 		s.met.submit()
 		s.met.cacheMiss()
 		s.insertLocked(r)
@@ -339,7 +383,7 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (Job, error) {
 		})
 		s.cfg.Logger.Info("job queued",
 			"job_id", r.job.ID, "type", r.job.Type, "scenario", r.job.Scenario,
-			"timeout", timeout.String(), "trace_id", r.job.TraceID)
+			"class", r.req.Class, "timeout", timeout.String(), "trace_id", r.job.TraceID)
 		return r.job, nil
 	default:
 		span.End()
@@ -364,6 +408,10 @@ func (s *Service) resolveRequest(req Request) (Request, *Scenario, string, time.
 	if !ok {
 		return req, nil, "", 0, fmt.Errorf("%w: unknown scenario %q", ErrBadRequest, req.Scenario)
 	}
+	if !validClass(req.Class) {
+		return req, nil, "", 0, fmt.Errorf("%w: unknown class %q (want interactive or batch)", ErrBadRequest, req.Class)
+	}
+	req.Class = req.Class.withDefault()
 	req.Params = req.Params.withDefaults(req.Type)
 	if err := req.Params.validate(req.Type); err != nil {
 		return req, nil, "", 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -582,7 +630,9 @@ func (s *Service) Stats() Stats {
 		Workers:       s.cfg.Workers,
 	}
 	s.mu.Lock()
-	st.QueueDepth = len(s.queue)
+	st.QueueInteractive = len(s.queues[0])
+	st.QueueBatch = len(s.queues[1])
+	st.QueueDepth = st.QueueInteractive + st.QueueBatch
 	st.Draining = s.draining
 	s.mu.Unlock()
 	st.Cache.Entries = s.cache.len()
@@ -606,8 +656,12 @@ func (s *Service) Stats() Stats {
 			Requeues:         s.met.requeues.Value(),
 		}
 	}
+	st.Surface = s.surf.stats()
 	return st
 }
+
+// queueLen is the total buffered depth across both admission classes.
+func (s *Service) queueLen() int { return len(s.queues[0]) + len(s.queues[1]) }
 
 // Ready reports whether the service accepts new submissions.
 func (s *Service) Ready() bool {
@@ -632,7 +686,7 @@ func (s *Service) Drain(ctx context.Context) error {
 			// receive on a closed channel still yields the remaining jobs,
 			// so workers keep claiming until the buffer is dry, and
 			// in-flight uploads keep landing. Poll both down to zero.
-			for len(s.queue) > 0 || s.table.Active() > 0 {
+			for s.queueLen() > 0 || s.table.Active() > 0 {
 				select {
 				case <-ctx.Done():
 					return // leave done open; the outer select reports the interrupt
@@ -660,6 +714,7 @@ func (s *Service) Close() {
 	s.baseCancel()
 	s.wg.Wait()
 	s.reaperWG.Wait() // the reaper appends to the WAL; stop it before the store closes
+	s.surfWG.Wait()   // surface builds persist artifacts; stop them before the store closes
 	if s.store != nil {
 		if err := s.store.Close(); err != nil {
 			s.cfg.Logger.Warn("store close failed", "error", err.Error())
@@ -672,15 +727,75 @@ func (s *Service) stopIntake() {
 	defer s.mu.Unlock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue) // workers drain the buffered jobs then exit
+		close(s.queues[0]) // workers drain the buffered jobs then exit
+		close(s.queues[1])
 	}
 }
 
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for r := range s.queue {
+	for {
+		r, ok := s.dequeue()
+		if !ok {
+			return
+		}
 		s.runJob(r)
 	}
+}
+
+// dequeue claims the next job for a local worker, interactive first: a
+// nonblocking pass over the interactive queue precedes every blocking wait,
+// so buffered interactive work always overtakes buffered batch work. It
+// returns ok == false once both queues are closed and dry.
+func (s *Service) dequeue() (*jobRecord, bool) {
+	inter, batch := s.queues[0], s.queues[1]
+	for inter != nil || batch != nil {
+		if inter != nil {
+			select {
+			case r, ok := <-inter:
+				if !ok {
+					inter = nil
+					continue
+				}
+				return r, true
+			default:
+			}
+		}
+		// Nothing interactive buffered: block on both (a nil channel never
+		// fires, which is how a closed-and-dry class drops out).
+		select {
+		case r, ok := <-inter:
+			if !ok {
+				inter = nil
+				continue
+			}
+			return r, true
+		case r, ok := <-batch:
+			if !ok {
+				batch = nil
+				continue
+			}
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// tryDequeue claims the next buffered job without blocking, interactive
+// first — the cluster lease path (LeaseNext returns "empty" rather than
+// parking the worker's poll).
+func (s *Service) tryDequeue() *jobRecord {
+	for _, q := range s.queues {
+		select {
+		case r, ok := <-q:
+			if ok {
+				return r
+			}
+			// closed and dry: fall through to the other class
+		default:
+		}
+	}
+	return nil
 }
 
 // runJob executes one dequeued job under its timeout and finalizes its
@@ -721,7 +836,7 @@ func (s *Service) runJob(r *jobRecord) {
 	defer cancel()
 
 	queueWait := start.Sub(r.job.SubmittedAt)
-	s.met.queueWait.Observe(queueWait.Seconds())
+	s.met.queueWaitObserve(r.req.Class, queueWait)
 	if s.sat != nil {
 		s.sat.observe(queueWait, start)
 	}

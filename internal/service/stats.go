@@ -12,10 +12,14 @@ import (
 // Stats is the /v1/stats payload: a consistent snapshot of the service's
 // operational counters.
 type Stats struct {
-	QueueDepth    int  `json:"queue_depth"`
-	QueueCapacity int  `json:"queue_capacity"`
-	Workers       int  `json:"workers"`
-	Draining      bool `json:"draining"`
+	QueueDepth int `json:"queue_depth"`
+	// QueueInteractive/QueueBatch split the depth by admission class (each
+	// class has its own QueueCapacity-bounded buffer).
+	QueueInteractive int  `json:"queue_interactive"`
+	QueueBatch       int  `json:"queue_batch"`
+	QueueCapacity    int  `json:"queue_capacity"`
+	Workers          int  `json:"workers"`
+	Draining         bool `json:"draining"`
 
 	Jobs struct {
 		Submitted int64 `json:"submitted"`
@@ -23,6 +27,9 @@ type Stats struct {
 		Failed    int64 `json:"failed"`
 		Cancelled int64 `json:"cancelled"`
 		Rejected  int64 `json:"rejected"` // queue-full or draining refusals
+		// Shed counts batch submissions refused while the saturation
+		// detector reported saturated (a subset of Rejected).
+		Shed int64 `json:"shed"`
 	} `json:"jobs"`
 
 	Cache struct {
@@ -44,6 +51,11 @@ type Stats struct {
 	// Cluster reports the lease table and worker registry on a coordinator;
 	// omitted in standalone mode.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+
+	// Surface reports the response-surface serving tier (surface.go):
+	// surfaces loaded, resident bytes, query hit/fallback split. Omitted
+	// until the first surface or query touches the tier.
+	Surface *SurfaceStats `json:"surface,omitempty"`
 }
 
 // StoreStats extends the store's own snapshot with the service-level
@@ -102,6 +114,13 @@ type metrics struct {
 
 	latency   map[JobType]*obs.Histogram // execution latency per job type
 	queueWait *obs.Histogram
+	// queueWaitClass decomposes the queue dwell time by admission class —
+	// the starvation dashboard: interactive dwell must stay flat while the
+	// batch series absorbs the sweep backlog.
+	queueWaitClass map[Class]*obs.Histogram
+	// shed counts batch submissions refused under saturation (a subset of
+	// rejected).
+	shed *obs.Counter
 	// segments decomposes end-to-end job latency (latency.go); nil when
 	// Config.DisableSegmentMetrics benched the hooks away.
 	segments map[string]*obs.Histogram
@@ -113,6 +132,10 @@ type metrics struct {
 
 	invariants map[string]*obs.Counter // violations by check name
 	sseClients *obs.Gauge              // live /v1/jobs/{id}/events streams
+
+	// Surface-tier instruments (surface.go).
+	surfaceQueries map[string]*obs.Counter // by outcome (hit/fallback_*)
+	surfaceBuilds  *obs.Counter
 
 	// Durable-store instruments (registered unconditionally; all stay zero
 	// for an in-memory service).
@@ -173,6 +196,14 @@ func newMetrics(disableSegments bool) *metrics {
 			"Job execution latency (cache hits excluded).",
 			jobDurationBuckets, obs.L("type", string(t)))
 	}
+	m.queueWaitClass = map[Class]*obs.Histogram{}
+	for _, c := range []Class{ClassInteractive, ClassBatch} {
+		m.queueWaitClass[c] = reg.Histogram("rumor_queue_wait_class_seconds",
+			"Queue dwell time decomposed by admission class.",
+			queueWaitBuckets, obs.L("class", string(c)))
+	}
+	m.shed = reg.Counter("rumor_jobs_shed_total",
+		"Batch submissions refused while the saturation detector reported saturated.")
 	// Pre-register every invariant check so a scrape shows the zero series
 	// (the dashboards' "nothing fired" is an explicit 0, not a gap).
 	m.invariants = map[string]*obs.Counter{}
@@ -189,6 +220,14 @@ func newMetrics(disableSegments bool) *metrics {
 				queueWaitBuckets, obs.L("segment", seg))
 		}
 	}
+	m.surfaceQueries = map[string]*obs.Counter{}
+	for _, outcome := range []string{outcomeHit, outcomeFallbackUncovered, outcomeFallbackTolerance} {
+		m.surfaceQueries[outcome] = reg.Counter("rumor_surface_queries_total",
+			"Interactive queries answered by the response-surface tier, by outcome.",
+			obs.L("outcome", outcome))
+	}
+	m.surfaceBuilds = reg.Counter("rumor_surface_builds_total",
+		"Response-surface constructions started (reloads from the store excluded).")
 	m.sseClients = reg.Gauge("rumor_sse_clients",
 		"Live GET /v1/jobs/{id}/events streams.")
 	m.walAppend = reg.Histogram("rumor_wal_append_seconds",
@@ -213,6 +252,15 @@ func newMetrics(disableSegments bool) *metrics {
 	return m
 }
 
+// queueWaitObserve records one queue dwell sample against the aggregate
+// histogram and the job's admission-class series.
+func (m *metrics) queueWaitObserve(c Class, wait time.Duration) {
+	m.queueWait.Observe(wait.Seconds())
+	if h := m.queueWaitClass[c.withDefault()]; h != nil {
+		h.Observe(wait.Seconds())
+	}
+}
+
 // workerLatency records one remote job execution (lease grant to result
 // upload) against the per-worker histogram, created on the worker's first
 // completion (obs.Registry instruments are get-or-create by name+labels).
@@ -231,8 +279,14 @@ func (m *metrics) registerDerived(s *Service) {
 	// own relay registry in internal/cluster/worker.
 	obs.RegisterRuntime(m.reg)
 	m.reg.GaugeFunc("rumor_queue_depth",
-		"Jobs queued but not yet running.",
-		func() float64 { return float64(len(s.queue)) })
+		"Jobs queued but not yet running (both admission classes).",
+		func() float64 { return float64(s.queueLen()) })
+	for i, c := range []Class{ClassInteractive, ClassBatch} {
+		q := s.queues[i]
+		m.reg.GaugeFunc("rumor_queue_depth_class",
+			"Jobs queued but not yet running, by admission class.",
+			func() float64 { return float64(len(q)) }, obs.L("class", string(c)))
+	}
 	m.reg.Gauge("rumor_queue_capacity",
 		"Bound of the job queue.").Set(float64(s.cfg.QueueDepth))
 	m.reg.Gauge("rumor_workers",
@@ -266,6 +320,12 @@ func (m *metrics) registerDerived(s *Service) {
 			"Queue-wait p99 over the saturation detector's sliding window.",
 			func() float64 { return s.sat.p99() })
 	}
+	m.reg.GaugeFunc("rumor_surface_loaded",
+		"Response surfaces resident and ready to serve queries.",
+		func() float64 { return float64(s.surf.readyCount()) })
+	m.reg.GaugeFunc("rumor_surface_bytes",
+		"Total encoded size of the resident response surfaces.",
+		func() float64 { return float64(s.surf.residentBytes()) })
 	m.reg.GaugeFunc("rumor_journal_entries",
 		"Flight-recorder entries resident across all jobs.",
 		func() float64 { return float64(s.journal.TotalLen()) })
@@ -373,6 +433,7 @@ func (m *metrics) snapshot(st *Stats) {
 	st.Jobs.Failed = m.outcomes[StatusFailed].Value()
 	st.Jobs.Cancelled = m.outcomes[StatusCancelled].Value()
 	st.Jobs.Rejected = m.rejected.Value()
+	st.Jobs.Shed = m.shed.Value()
 	st.Cache.Hits = m.cacheHits.Value()
 	st.Cache.Misses = m.cacheMisses.Value()
 	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {

@@ -1,0 +1,21 @@
+package store
+
+// Reader is the read-only seam the serving path depends on (PR 7's
+// noted follow-on): everything the query tier needs from persistence —
+// cached result payloads, surface artifacts and the surface inventory —
+// behind an interface a shared or remote content-addressed tier can
+// implement later without touching the handlers. *Store satisfies it;
+// internal/service carries a test double proving nothing on the serving
+// path reaches around the seam.
+type Reader interface {
+	// GetResult returns a verified result payload by cache key, or
+	// (nil, false) on a miss.
+	GetResult(key string) ([]byte, bool)
+	// GetSurface returns a verified surface artifact by spec key, or
+	// (nil, false) on a miss.
+	GetSurface(key string) ([]byte, bool)
+	// SurfaceKeys lists the stored surface keys newest-first.
+	SurfaceKeys() []string
+}
+
+var _ Reader = (*Store)(nil)

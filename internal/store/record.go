@@ -57,11 +57,15 @@ type walRecord struct {
 	// recovery restores it so a poison job's budget survives a coordinator
 	// restart instead of resetting.
 	Attempt int `json:"attempt,omitempty"`
-	// Request, Key, TraceID and SubmittedAt describe an opSubmitted job.
+	// Request, Key, TraceID, SubmittedAt and Class describe an
+	// opSubmitted job. Class is the admission priority (interactive/
+	// batch) so recovery re-enqueues a job into the queue class it was
+	// admitted under.
 	Request     json.RawMessage `json:"request,omitempty"`
 	Key         string          `json:"key,omitempty"`
 	TraceID     string          `json:"trace_id,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at,omitempty"`
+	Class       string          `json:"class,omitempty"`
 
 	// Scenario is the uploaded degree-distribution table of an opScenario
 	// record; recovery re-registers it so recovered jobs that reference it
@@ -94,6 +98,9 @@ type JobState struct {
 	Key         string          `json:"key"`
 	TraceID     string          `json:"trace_id,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at"`
+	// Class is the admission priority class recorded at submission
+	// (empty for pre-PR-10 records: the service defaults it).
+	Class string `json:"class,omitempty"`
 	// Started reports whether the job had begun executing; recovery
 	// re-enqueues it either way (results are deterministic and idempotent).
 	Started bool `json:"started,omitempty"`

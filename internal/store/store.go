@@ -147,16 +147,21 @@ type Stats struct {
 	ResultBytes     int64 `json:"result_bytes"`
 	ResultEvictions int64 `json:"result_evictions"`
 	BadBlobs        int64 `json:"bad_blobs"`
+	// Surfaces and SurfaceBytes size the response-surface namespace
+	// (exempt from result GC; see surface.go).
+	Surfaces     int   `json:"surfaces"`
+	SurfaceBytes int64 `json:"surface_bytes"`
 }
 
 // Store is an open persistence directory. All methods are safe for
 // concurrent use; there must be at most one Store per directory per
 // machine (rumord owns it for the life of the process).
 type Store struct {
-	dir        string
-	walDir     string
-	resultsDir string
-	opts       Options
+	dir         string
+	walDir      string
+	resultsDir  string
+	surfacesDir string
+	opts        Options
 
 	mu            sync.Mutex // WAL state: segment file, pending jobs, stats
 	seg           *os.File
@@ -172,9 +177,11 @@ type Store struct {
 	maxSeq        uint64
 	stats         Stats
 
-	bmu             sync.Mutex // blob index
+	bmu             sync.Mutex // blob + surface index
 	blobs           map[string]blobInfo
 	blobBytes       int64
+	surfaces        map[string]blobInfo
+	surfaceBytes    int64
 	resultEvictions int64
 	badBlobs        int64
 
@@ -189,17 +196,19 @@ type Store struct {
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	s := &Store{
-		dir:        dir,
-		walDir:     filepath.Join(dir, walDirName),
-		resultsDir: filepath.Join(dir, resultsDirName),
-		opts:       opts,
-		pending:    make(map[string]*JobState),
-		scenarios:  make(map[string]ScenarioState),
-		blobs:      make(map[string]blobInfo),
-		flushStop:  make(chan struct{}),
-		flushDone:  make(chan struct{}),
+		dir:         dir,
+		walDir:      filepath.Join(dir, walDirName),
+		resultsDir:  filepath.Join(dir, resultsDirName),
+		surfacesDir: filepath.Join(dir, surfacesDirName),
+		opts:        opts,
+		pending:     make(map[string]*JobState),
+		scenarios:   make(map[string]ScenarioState),
+		blobs:       make(map[string]blobInfo),
+		surfaces:    make(map[string]blobInfo),
+		flushStop:   make(chan struct{}),
+		flushDone:   make(chan struct{}),
 	}
-	for _, d := range []string{dir, s.walDir, s.resultsDir} {
+	for _, d := range []string{dir, s.walDir, s.resultsDir, s.surfacesDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: mkdir %s: %w", d, err)
 		}
@@ -208,6 +217,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	if err := s.scanBlobs(); err != nil {
+		s.seg.Close()
+		return nil, err
+	}
+	if err := s.scanSurfaces(); err != nil {
 		s.seg.Close()
 		return nil, err
 	}
@@ -290,6 +303,7 @@ func (s *Store) AppendSubmitted(js JobState) error {
 	return s.appendRecord(walRecord{
 		Op: opSubmitted, JobID: js.ID, Seq: js.Seq, Request: js.Request,
 		Key: js.Key, TraceID: js.TraceID, SubmittedAt: js.SubmittedAt,
+		Class: js.Class,
 	})
 }
 
@@ -378,6 +392,8 @@ func (s *Store) Snapshot() Stats {
 	st.ResultBytes = s.blobBytes
 	st.ResultEvictions = s.resultEvictions
 	st.BadBlobs = s.badBlobs
+	st.Surfaces = len(s.surfaces)
+	st.SurfaceBytes = s.surfaceBytes
 	s.bmu.Unlock()
 	return st
 }

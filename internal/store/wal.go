@@ -118,7 +118,7 @@ func (s *Store) apply(rec walRecord) {
 		}
 		s.addPending(JobState{
 			ID: rec.JobID, Seq: rec.Seq, Request: rec.Request, Key: rec.Key,
-			TraceID: rec.TraceID, SubmittedAt: rec.SubmittedAt,
+			TraceID: rec.TraceID, SubmittedAt: rec.SubmittedAt, Class: rec.Class,
 		})
 	case opStarted:
 		if js, ok := s.pending[rec.JobID]; ok {

@@ -80,6 +80,10 @@
 #   scripts/bench.sh pr6             # pr6 -> BENCH_PR6.json
 #   scripts/bench.sh pr7             # pr7 -> BENCH_PR7.json
 #   scripts/bench.sh pr8             # pr8 -> BENCH_PR8.json
+#   scripts/bench.sh pr10            # pr10 -> BENCH_PR10.json (delegates
+#                                      to scripts/loadgen.sh pr10: the
+#                                      surface-hit / fallback / cold-solve
+#                                      query-mix sweep)
 #   scripts/bench.sh pr2 out.json    # explicit output path
 set -eu
 
@@ -152,8 +156,14 @@ pr8)
 	go test -run '^$' -bench 'Benchmark(Cluster|Standalone)ODE/|Benchmark(Cluster|Standalone)Threshold$' \
 		-benchmem -count 3 ./internal/cluster/worker | tee -a "$tmp"
 	;;
+pr10)
+	# The PR 10 artifact is an open-loop latency sweep, not a go-bench run:
+	# delegate to loadgen.sh's pr10 suite (surface-hit vs fallback vs
+	# cold-solve query mix on the selfhosted daemon -> BENCH_PR10.json).
+	exec sh scripts/loadgen.sh pr10 "${2:-BENCH_PR10.json}"
+	;;
 *)
-	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3, pr4, pr5, pr6, pr7 or pr8)" >&2
+	echo "bench.sh: unknown suite '$suite' (want pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8 or pr10)" >&2
 	exit 2
 	;;
 esac

@@ -18,7 +18,10 @@
 # it: worker-side span/journal/snapshot buffers racing the heartbeat
 # goroutine, the coordinator's relay merge racing /metrics scrapes and
 # SSE followers, and the rumorctl -follow live tail against a real
-# cluster) must stay data-race free; -race
+# cluster) and the response-surface tier (internal/service's construction
+# fan-out racing Close, interpolated queries racing an in-flight build,
+# and the two-class admission queue under concurrent submit/lease/shed)
+# must stay data-race free; -race
 # roughly 10x-es the runtime, so it is a separate gate. Tier 2 also runs
 # every benchmark for exactly one iteration — benchmarks bit-rot silently
 # otherwise (the bench.sh suites only exercise their own subset). Usage:
@@ -46,6 +49,14 @@ if [ "${1:-}" = "-race" ]; then
 	# §14) even though `go test -race ./...` already covers the package.
 	echo "== tier 2: rumorload smoke"
 	go test -race -count 1 -run 'TestSmokeSweep' ./internal/loadgen
+	# The response-surface smoke: build a tiny threshold surface on the
+	# loadtiny scenario over HTTP (grid points run as batch jobs, folded
+	# and persisted), query it with an in-hull/out-of-hull mix, and check
+	# the hit/fallback split — the explicit gate for the serving tier
+	# (DESIGN.md §15); the service-side goroutine-leak and
+	# query-during-construction races run under the package sweep above.
+	echo "== tier 2: surface smoke"
+	go test -race -count 1 -run 'TestSurfaceSmoke' ./internal/loadgen
 fi
 
 echo "verify: ok"
